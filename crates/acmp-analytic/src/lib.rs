@@ -1,0 +1,36 @@
+//! Hill & Marty analytic multicore speedup models.
+//!
+//! Figure 1 of the paper motivates the asymmetric CMP with the cost model of
+//! Hill and Marty, *"Amdahl's Law in the Multicore Era"* (IEEE Computer,
+//! 2008): a chip has a budget of `n` *base core equivalents* (BCE); a core
+//! built from `r` BCEs delivers `perf(r) = √r` sequential performance; the
+//! serial fraction of the application limits the achievable speedup.
+//!
+//! Three organisations are compared:
+//!
+//! * a **symmetric** CMP of `n / r` cores of `r` BCEs each,
+//! * an **asymmetric** CMP with one big core of `r` BCEs plus `n − r` single
+//!   BCE cores,
+//! * (for completeness) the single big core alone.
+//!
+//! The paper's Figure 1 uses `n = 16` BCEs and a big core that spends 4 BCEs
+//! for 2× performance — exactly `perf(4) = √4 = 2`.
+
+pub mod model;
+pub mod sweep;
+
+pub use model::{CmpOrganisation, HillMartyModel};
+pub use sweep::{figure1_series, Figure1Point};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HillMartyModel>();
+        assert_send_sync::<CmpOrganisation>();
+        assert_send_sync::<Figure1Point>();
+    }
+}

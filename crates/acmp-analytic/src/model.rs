@@ -1,0 +1,173 @@
+//! The Hill-Marty cost/performance model.
+
+use serde::{Deserialize, Serialize};
+
+/// The multicore organisations compared in Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CmpOrganisation {
+    /// `budget / bce_per_core` identical cores of `bce_per_core` BCEs each.
+    Symmetric {
+        /// Resources spent per core, in base core equivalents.
+        bce_per_core: f64,
+    },
+    /// One big core of `big_core_bce` BCEs plus `budget - big_core_bce`
+    /// single-BCE lean cores.
+    Asymmetric {
+        /// Resources spent on the big core, in base core equivalents.
+        big_core_bce: f64,
+    },
+}
+
+/// A chip with a fixed resource budget evaluated under Amdahl's law.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HillMartyModel {
+    /// Total chip budget in base core equivalents (Figure 1 uses 16).
+    pub budget: f64,
+}
+
+impl HillMartyModel {
+    /// Creates a model with the given BCE budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not positive.
+    pub fn new(budget: f64) -> Self {
+        assert!(budget > 0.0, "the chip budget must be positive");
+        HillMartyModel { budget }
+    }
+
+    /// Sequential performance of a core built from `r` BCEs, normalised to a
+    /// single-BCE core: `perf(r) = √r` (Hill & Marty's baseline assumption;
+    /// the paper's Figure 1 caption phrases it as "4× more resources for 2×
+    /// more performance").
+    pub fn perf(r: f64) -> f64 {
+        assert!(r > 0.0, "core size must be positive");
+        r.sqrt()
+    }
+
+    /// Speedup of `organisation` on a workload whose serial fraction is
+    /// `serial_fraction`, relative to a single 1-BCE core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `serial_fraction` is outside `[0, 1]` or the organisation
+    /// does not fit in the budget.
+    pub fn speedup(&self, organisation: CmpOrganisation, serial_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&serial_fraction),
+            "serial fraction must be in [0, 1]"
+        );
+        let f_par = 1.0 - serial_fraction;
+        match organisation {
+            CmpOrganisation::Symmetric { bce_per_core } => {
+                assert!(
+                    bce_per_core > 0.0 && bce_per_core <= self.budget,
+                    "core size must fit in the budget"
+                );
+                let cores = (self.budget / bce_per_core).floor().max(1.0);
+                let perf = Self::perf(bce_per_core);
+                // Serial code runs on one core; parallel code on all of them.
+                1.0 / (serial_fraction / perf + f_par / (perf * cores))
+            }
+            CmpOrganisation::Asymmetric { big_core_bce } => {
+                assert!(
+                    big_core_bce >= 1.0 && big_core_bce <= self.budget,
+                    "big core must fit in the budget"
+                );
+                let lean_cores = self.budget - big_core_bce;
+                let big_perf = Self::perf(big_core_bce);
+                // Serial code runs on the big core; parallel code uses the
+                // big core plus every lean core.
+                1.0 / (serial_fraction / big_perf + f_par / (big_perf + lean_cores))
+            }
+        }
+    }
+}
+
+impl Default for HillMartyModel {
+    /// The 16-BCE budget of Figure 1.
+    fn default() -> Self {
+        HillMartyModel::new(16.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1_BIG: f64 = 4.0; // 4 BCE big core => 2x performance
+
+    #[test]
+    fn perf_is_square_root() {
+        assert!((HillMartyModel::perf(4.0) - 2.0).abs() < 1e-12);
+        assert!((HillMartyModel::perf(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_parallel_code_favours_many_small_cores() {
+        let m = HillMartyModel::default();
+        let small = m.speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, 0.0);
+        let big = m.speedup(CmpOrganisation::Symmetric { bce_per_core: FIG1_BIG }, 0.0);
+        assert!((small - 16.0).abs() < 1e-9);
+        assert!((big - 8.0).abs() < 1e-9);
+        assert!(small > big);
+    }
+
+    #[test]
+    fn highly_serial_code_favours_few_big_cores() {
+        let m = HillMartyModel::default();
+        let small = m.speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, 0.3);
+        let big = m.speedup(CmpOrganisation::Symmetric { bce_per_core: FIG1_BIG }, 0.3);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn asymmetric_beats_both_symmetric_designs_beyond_two_percent_serial() {
+        // The paper: "with the serial code fraction above 2%, an ACMP
+        // outperforms both symmetric CMP designs".
+        let m = HillMartyModel::default();
+        for serial in [0.02, 0.05, 0.10, 0.20, 0.30] {
+            let acmp = m.speedup(CmpOrganisation::Asymmetric { big_core_bce: FIG1_BIG }, serial);
+            let sym_small = m.speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, serial);
+            let sym_big = m.speedup(CmpOrganisation::Symmetric { bce_per_core: FIG1_BIG }, serial);
+            assert!(
+                acmp > sym_small && acmp > sym_big,
+                "at {serial}: acmp={acmp:.2} small={sym_small:.2} big={sym_big:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn at_zero_serial_fraction_the_small_symmetric_design_wins() {
+        let m = HillMartyModel::default();
+        let acmp = m.speedup(CmpOrganisation::Asymmetric { big_core_bce: FIG1_BIG }, 0.0);
+        let sym_small = m.speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, 0.0);
+        assert!(sym_small > acmp);
+    }
+
+    #[test]
+    fn speedup_decreases_with_serial_fraction() {
+        let m = HillMartyModel::default();
+        let mut last = f64::INFINITY;
+        for i in 0..=10 {
+            let s = m.speedup(
+                CmpOrganisation::Asymmetric { big_core_bce: FIG1_BIG },
+                i as f64 * 0.03,
+            );
+            assert!(s < last);
+            last = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "serial fraction")]
+    fn serial_fraction_is_validated() {
+        HillMartyModel::default().speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in the budget")]
+    fn oversized_big_core_rejected() {
+        HillMartyModel::new(4.0).speedup(CmpOrganisation::Asymmetric { big_core_bce: 8.0 }, 0.1);
+    }
+}

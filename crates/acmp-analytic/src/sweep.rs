@@ -1,0 +1,85 @@
+//! The Figure 1 sweep: speedup vs serial code fraction.
+
+use crate::model::{CmpOrganisation, HillMartyModel};
+use serde::{Deserialize, Serialize};
+
+/// One point of the Figure 1 series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Figure1Point {
+    /// Serial code fraction in percent (the figure's x-axis: 0–30 %).
+    pub serial_percent: f64,
+    /// Speedup of the symmetric CMP with four big cores.
+    pub symmetric_big: f64,
+    /// Speedup of the symmetric CMP with sixteen small cores.
+    pub symmetric_small: f64,
+    /// Speedup of the asymmetric CMP with one big and twelve small cores.
+    pub asymmetric: f64,
+}
+
+/// Generates the Figure 1 series: a 16-BCE chip, a big core worth 4 BCEs
+/// (2× performance), serial fractions from 0 to 30 %.
+pub fn figure1_series(points: usize) -> Vec<Figure1Point> {
+    assert!(points >= 2, "need at least two points for a series");
+    let model = HillMartyModel::new(16.0);
+    let big = 4.0;
+    (0..points)
+        .map(|i| {
+            let serial_percent = 30.0 * i as f64 / (points - 1) as f64;
+            let serial = serial_percent / 100.0;
+            Figure1Point {
+                serial_percent,
+                symmetric_big: model.speedup(CmpOrganisation::Symmetric { bce_per_core: big }, serial),
+                symmetric_small: model.speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, serial),
+                asymmetric: model.speedup(CmpOrganisation::Asymmetric { big_core_bce: big }, serial),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_covers_zero_to_thirty_percent() {
+        let s = figure1_series(31);
+        assert_eq!(s.len(), 31);
+        assert!((s[0].serial_percent - 0.0).abs() < 1e-12);
+        assert!((s[30].serial_percent - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoints_match_the_paper_figure() {
+        let s = figure1_series(31);
+        // At 0% serial: 16 small cores reach 16x, 4 big cores reach 8x, the
+        // ACMP lands in between (big core + 12 lean cores = 14x).
+        assert!((s[0].symmetric_small - 16.0).abs() < 1e-9);
+        assert!((s[0].symmetric_big - 8.0).abs() < 1e-9);
+        assert!(s[0].asymmetric > 13.0 && s[0].asymmetric < 15.0);
+        // Beyond a couple of percent the ACMP dominates.
+        for p in s.iter().filter(|p| p.serial_percent >= 2.5) {
+            assert!(p.asymmetric >= p.symmetric_small);
+            assert!(p.asymmetric >= p.symmetric_big);
+        }
+    }
+
+    #[test]
+    fn crossover_is_near_two_percent() {
+        let s = figure1_series(301);
+        let crossover = s
+            .iter()
+            .find(|p| p.asymmetric > p.symmetric_small)
+            .expect("the ACMP eventually wins");
+        assert!(
+            crossover.serial_percent > 0.3 && crossover.serial_percent < 4.0,
+            "crossover at {:.2}%",
+            crossover.serial_percent
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn series_needs_points() {
+        figure1_series(1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates the tables and figures of the paper's evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench-harness --release --bin figures -- <id> [<id> ...]
+//! cargo run -p bench-harness --release --bin figures -- all
+//! FIGURE_SCALE=quick cargo run -p bench-harness --release --bin figures -- fig07
+//! ```
+//!
+//! Valid ids: `fig01 fig02 fig03 fig04 table01 fig07 fig08 fig09 fig10 fig11
+//! fig12 fig13 all`.
+
+use bench_harness::{Scale, EXPERIMENT_IDS};
+use shared_icache::figures;
+use shared_icache::ExperimentContext;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures <id> [<id> ...]   (ids: {})", EXPERIMENT_IDS.join(" "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let scale = Scale::from_env();
+    let requested: Vec<String> = if args.iter().any(|a| a == "all") {
+        EXPERIMENT_IDS
+            .iter()
+            .filter(|id| **id != "all")
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+
+    for id in &requested {
+        if !EXPERIMENT_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment id `{id}` (valid: {})", EXPERIMENT_IDS.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    println!("# shared-icache figure harness (scale: {scale:?})\n");
+    let ctx = scale.context();
+    let benchmarks = scale.benchmarks();
+    for id in requested {
+        run_one(&id, &ctx, &benchmarks, scale);
+        println!();
+    }
+}
+
+fn run_one(id: &str, ctx: &ExperimentContext, benchmarks: &[hpc_workloads::Benchmark], scale: Scale) {
+    let start = std::time::Instant::now();
+    match id {
+        "fig01" => println!("{}", figures::fig01::compute(31)),
+        "fig02" => println!("{}", figures::fig02::compute(ctx, benchmarks)),
+        "fig03" => println!("{}", figures::fig03::compute(ctx, benchmarks)),
+        "fig04" => println!("{}", figures::fig04::compute(ctx, benchmarks)),
+        "table01" => println!("{}", figures::table01::compute()),
+        "fig07" => println!("{}", figures::fig07::compute(ctx, benchmarks)),
+        "fig08" => println!("{}", figures::fig08::compute(ctx, benchmarks)),
+        "fig09" => println!("{}", figures::fig09::compute(ctx, benchmarks)),
+        "fig10" => println!("{}", figures::fig10::compute(ctx, benchmarks)),
+        "fig11" => println!("{}", figures::fig11::compute(ctx, benchmarks)),
+        "fig12" => println!("{}", figures::fig12::compute(ctx, benchmarks)),
+        "fig13" => println!("{}", figures::fig13::compute(ctx, benchmarks)),
+        other => unreachable!("unvalidated experiment id {other}"),
+    }
+    eprintln!(
+        "[{id}] completed in {:.1}s at {scale:?} scale",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,92 @@
+//! Shared plumbing for the figure-reproduction harness.
+//!
+//! The `figures` binary (`cargo run -p bench-harness --bin figures --release -- <id>`)
+//! regenerates the rows/series of every table and figure in the paper's
+//! evaluation; the Criterion benches in `benches/figures.rs` time the
+//! underlying simulations.
+
+use hpc_workloads::{Benchmark, GeneratorConfig};
+use shared_icache::ExperimentContext;
+
+/// Scale of a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A reduced scale (fewer instructions, fewer workers) for quick smoke
+    /// runs and CI.
+    Quick,
+    /// The full eight-worker configuration used for `EXPERIMENTS.md`.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the `FIGURE_SCALE` environment variable
+    /// (`quick` or `paper`); defaults to `Paper`.
+    pub fn from_env() -> Self {
+        match std::env::var("FIGURE_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+
+    /// The trace-generation configuration for this scale.
+    pub fn generator(self) -> GeneratorConfig {
+        match self {
+            Scale::Quick => GeneratorConfig {
+                num_workers: 4,
+                parallel_instructions_per_thread: 20_000,
+                num_phases: 2,
+                seed: 0xC0FF_EE00,
+            },
+            Scale::Paper => GeneratorConfig::paper(),
+        }
+    }
+
+    /// Builds an experiment context at this scale.
+    pub fn context(self) -> ExperimentContext {
+        ExperimentContext::new(self.generator())
+    }
+
+    /// The benchmark list used at this scale (a representative subset for
+    /// `Quick`, all 24 workloads for `Paper`).
+    pub fn benchmarks(self) -> Vec<Benchmark> {
+        match self {
+            Scale::Quick => vec![
+                Benchmark::Cg,
+                Benchmark::Lu,
+                Benchmark::Ua,
+                Benchmark::CoEvp,
+                Benchmark::CoMd,
+                Benchmark::Lulesh,
+            ],
+            Scale::Paper => Benchmark::ALL.to_vec(),
+        }
+    }
+}
+
+/// The experiment identifiers understood by the harness.
+pub const EXPERIMENT_IDS: [&str; 13] = [
+    "fig01", "fig02", "fig03", "fig04", "table01", "fig07", "fig08", "fig09", "fig10", "fig11",
+    "fig12", "fig13", "all",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_smaller_than_paper_scale() {
+        let q = Scale::Quick.generator();
+        let p = Scale::Paper.generator();
+        assert!(q.parallel_instructions_per_thread < p.parallel_instructions_per_thread);
+        assert!(q.num_workers <= p.num_workers);
+        assert!(Scale::Quick.benchmarks().len() < Scale::Paper.benchmarks().len());
+        assert_eq!(Scale::Paper.benchmarks().len(), 24);
+    }
+
+    #[test]
+    fn experiment_ids_cover_every_figure_and_table() {
+        for id in ["fig01", "fig07", "fig12", "fig13", "table01"] {
+            assert!(EXPERIMENT_IDS.contains(&id));
+        }
+    }
+}

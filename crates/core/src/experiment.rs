@@ -1,0 +1,179 @@
+//! Experiment execution: trace generation, simulation, caching and
+//! parallel sweeps.
+
+use crate::design_point::DesignPoint;
+use hpc_workloads::{Benchmark, GeneratorConfig, TraceGenerator};
+use parking_lot::Mutex;
+use sim_acmp::{Machine, SimResult};
+use sim_trace::TraceSet;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared state for a set of experiments: traces are generated once per
+/// benchmark and simulation results are cached per (benchmark, design
+/// point), so the figure modules can be composed without repeating work.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    generator: GeneratorConfig,
+    traces: Mutex<HashMap<Benchmark, Arc<TraceSet>>>,
+    results: Mutex<HashMap<(Benchmark, String), Arc<SimResult>>>,
+}
+
+impl ExperimentContext {
+    /// Creates a context that generates traces with `generator`.
+    pub fn new(generator: GeneratorConfig) -> Self {
+        generator.validate();
+        ExperimentContext {
+            generator,
+            traces: Mutex::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A context at the scale used by the figure harnesses (eight workers).
+    pub fn paper_scale() -> Self {
+        Self::new(GeneratorConfig::paper())
+    }
+
+    /// The trace-generation configuration in use.
+    pub fn generator(&self) -> &GeneratorConfig {
+        &self.generator
+    }
+
+    /// Number of worker cores simulated.
+    pub fn num_workers(&self) -> usize {
+        self.generator.num_workers
+    }
+
+    /// Returns (generating and caching on first use) the trace set of
+    /// `benchmark`.
+    pub fn traces(&self, benchmark: Benchmark) -> Arc<TraceSet> {
+        if let Some(t) = self.traces.lock().get(&benchmark) {
+            return Arc::clone(t);
+        }
+        let generated = Arc::new(
+            TraceGenerator::new(benchmark.profile(), self.generator).generate(),
+        );
+        let mut guard = self.traces.lock();
+        Arc::clone(guard.entry(benchmark).or_insert(generated))
+    }
+
+    /// Simulates `benchmark` on `design`, caching the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (cycle limit exceeded), which points
+    /// at a configuration or runtime bug rather than a user error.
+    pub fn simulate(&self, benchmark: Benchmark, design: &DesignPoint) -> Arc<SimResult> {
+        let key = (benchmark, design.name.clone());
+        if let Some(r) = self.results.lock().get(&key) {
+            return Arc::clone(r);
+        }
+        let traces = self.traces(benchmark);
+        let config = design.acmp_config(self.num_workers());
+        let result = Arc::new(
+            Machine::new(config, &traces)
+                .run()
+                .unwrap_or_else(|e| panic!("simulation of {benchmark} on {design} failed: {e}")),
+        );
+        let mut guard = self.results.lock();
+        Arc::clone(guard.entry(key).or_insert(result))
+    }
+
+    /// Simulates every benchmark in `benchmarks` on `design`, running the
+    /// per-benchmark simulations on worker threads.
+    pub fn simulate_all(
+        &self,
+        benchmarks: &[Benchmark],
+        design: &DesignPoint,
+    ) -> Vec<(Benchmark, Arc<SimResult>)> {
+        self.run_parallel(benchmarks, |b| self.simulate(b, design))
+    }
+
+    /// Runs `f` for every benchmark on a pool of worker threads, preserving
+    /// the input order in the returned vector.
+    pub fn run_parallel<T, F>(&self, benchmarks: &[Benchmark], f: F) -> Vec<(Benchmark, T)>
+    where
+        T: Send,
+        F: Fn(Benchmark) -> T + Sync,
+    {
+        let results: Mutex<Vec<Option<(Benchmark, T)>>> =
+            Mutex::new((0..benchmarks.len()).map(|_| None).collect());
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(benchmarks.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..parallelism {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= benchmarks.len() {
+                        break;
+                    }
+                    let b = benchmarks[i];
+                    let value = f(b);
+                    results.lock()[i] = Some((b, value));
+                });
+            }
+        });
+
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every benchmark was processed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ctx() -> ExperimentContext {
+        ExperimentContext::new(GeneratorConfig {
+            num_workers: 2,
+            parallel_instructions_per_thread: 5_000,
+            num_phases: 1,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn traces_are_cached_and_shared() {
+        let ctx = small_ctx();
+        let a = ctx.traces(Benchmark::Cg);
+        let b = ctx.traces(Benchmark::Cg);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn simulations_are_cached_per_design_point() {
+        let ctx = small_ctx();
+        let a = ctx.simulate(Benchmark::Cg, &DesignPoint::baseline());
+        let b = ctx.simulate(Benchmark::Cg, &DesignPoint::baseline());
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = ctx.simulate(Benchmark::Cg, &DesignPoint::proposed());
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order() {
+        let ctx = small_ctx();
+        let benchmarks = [Benchmark::Cg, Benchmark::Is, Benchmark::Ep];
+        let results = ctx.simulate_all(&benchmarks, &DesignPoint::baseline());
+        let names: Vec<_> = results.iter().map(|(b, _)| *b).collect();
+        assert_eq!(names, benchmarks);
+        for (b, r) in &results {
+            assert_eq!(r.instructions, ctx.traces(*b).total_instructions());
+        }
+    }
+
+    #[test]
+    fn run_parallel_with_custom_closure() {
+        let ctx = small_ctx();
+        let out = ctx.run_parallel(&[Benchmark::Cg, Benchmark::Lu], |b| b.name().len());
+        assert_eq!(out, vec![(Benchmark::Cg, 2), (Benchmark::Lu, 2)]);
+    }
+}

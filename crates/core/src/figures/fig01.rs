@@ -1,0 +1,79 @@
+//! Figure 1: potential speedup of symmetric and asymmetric CMPs as a
+//! function of the serial code fraction (Hill-Marty model, 16 BCE budget).
+
+use crate::report::{fmt3, TextTable};
+use acmp_analytic::{figure1_series, Figure1Point};
+use serde::{Deserialize, Serialize};
+
+/// The Figure 1 result: one row per serial-fraction sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure1 {
+    /// Sampled points (serial fraction 0–30 %).
+    pub points: Vec<Figure1Point>,
+}
+
+/// Computes the figure with `points` samples between 0 and 30 % serial code.
+pub fn compute(points: usize) -> Figure1 {
+    Figure1 {
+        points: figure1_series(points),
+    }
+}
+
+impl Figure1 {
+    /// The smallest serial fraction (in percent) at which the asymmetric CMP
+    /// outperforms both symmetric designs — the paper's "above 2 %" claim.
+    pub fn acmp_crossover_percent(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.asymmetric > p.symmetric_small && p.asymmetric > p.symmetric_big)
+            .map(|p| p.serial_percent)
+    }
+}
+
+impl std::fmt::Display for Figure1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Figure 1: speedup vs serial code fraction (16 BCE budget, big core = 4 BCE)"
+        )?;
+        let mut t = TextTable::new(vec![
+            "serial %",
+            "symmetric (4 big)",
+            "symmetric (16 small)",
+            "asymmetric (1+12)",
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                format!("{:.1}", p.serial_percent),
+                fmt3(p.symmetric_big),
+                fmt3(p.symmetric_small),
+                fmt3(p.asymmetric),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_matches_the_paper_claim() {
+        let fig = compute(301);
+        let crossover = fig.acmp_crossover_percent().expect("ACMP eventually wins");
+        assert!(
+            crossover <= 4.0,
+            "the ACMP should win above ~2% serial code, crossover at {crossover:.1}%"
+        );
+    }
+
+    #[test]
+    fn display_contains_every_series() {
+        let fig = compute(4);
+        let s = fig.to_string();
+        assert!(s.contains("asymmetric"));
+        assert!(s.contains("16 small"));
+        assert_eq!(s.lines().count(), 4 + 3);
+    }
+}

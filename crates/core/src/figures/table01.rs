@@ -1,0 +1,131 @@
+//! Table I: configuration parameters of the simulated ACMP.
+
+use crate::report::TextTable;
+use serde::{Deserialize, Serialize};
+use sim_acmp::AcmpConfig;
+
+/// One configuration parameter of Table I.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Parameter name.
+    pub parameter: String,
+    /// Parameter value(s).
+    pub value: String,
+}
+
+/// The rendered Table I.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// All rows, in the paper's order.
+    pub rows: Vec<TableRow>,
+}
+
+/// Builds Table I from the default machine configuration, so the printed
+/// table always matches what the simulator actually uses.
+pub fn compute() -> Table1 {
+    let cfg = AcmpConfig::default();
+    let row = |p: &str, v: String| TableRow {
+        parameter: p.to_string(),
+        value: v,
+    };
+    let rows = vec![
+        row(
+            "ACMP",
+            format!("1 master and {} worker cores", cfg.num_workers),
+        ),
+        row(
+            "master core",
+            format!(
+                "commit width {}, IPC values from an Intel i7-class core",
+                cfg.master_core.commit_width
+            ),
+        ),
+        row(
+            "worker core",
+            format!(
+                "commit width {}, IPC values from an ARM Cortex-A9-class core",
+                cfg.worker_core.commit_width
+            ),
+        ),
+        row("cores-per-cache (cpc)", "1, 2, 4, 8 (1 = private I-caches)".to_string()),
+        row(
+            "I-cache",
+            format!(
+                "{} KB, {}-way, {} B lines, {}-cycle latency (16 KB variant for the shared design)",
+                cfg.worker_icache.size_bytes / 1024,
+                cfg.worker_icache.associativity,
+                cfg.worker_icache.line_size,
+                cfg.worker_icache.latency
+            ),
+        ),
+        row(
+            "line buffers",
+            format!(
+                "2, 4 or 8 per core, {} B wide (baseline: {})",
+                cfg.worker_core.frontend.line_size, cfg.worker_core.frontend.line_buffers
+            ),
+        ),
+        row(
+            "I-interconnect",
+            format!(
+                "single or double bus, {}-cycle latency + contention, {} B wide, round-robin",
+                cfg.bus.latency, cfg.bus.width_bytes
+            ),
+        ),
+        row(
+            "fetch predictor",
+            format!(
+                "{} KB gshare + {}-entry loop predictor",
+                cfg.worker_core.frontend.predictor.gshare_entries * 2 / 8 / 1024,
+                cfg.worker_core.frontend.predictor.loop_entries
+            ),
+        ),
+        row(
+            "L2 cache",
+            format!(
+                "{} MB, {}-way, {}-cycle latency, {} B lines",
+                cfg.l2.cache.size_bytes / (1024 * 1024),
+                cfg.l2.cache.associativity,
+                cfg.l2.cache.latency,
+                cfg.l2.cache.line_size
+            ),
+        ),
+        row(
+            "L2-DRAM bus",
+            format!("{}-cycle latency + contention, 32 B wide", cfg.l2.dram_bus_latency),
+        ),
+        row(
+            "DRAM",
+            "unlimited size, Micron DDR3-1600-like timing".to_string(),
+        ),
+    ];
+    Table1 { rows }
+}
+
+impl std::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table I: configuration parameters of the simulated ACMP")?;
+        let mut t = TextTable::new(vec!["parameter", "value"]);
+        for r in &self.rows {
+            t.row(vec![r.parameter.clone(), r.value.clone()]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_the_paper_parameters() {
+        let t = compute();
+        let text = t.to_string();
+        assert!(text.contains("8 worker cores"));
+        assert!(text.contains("32 KB, 8-way, 64 B lines, 1-cycle latency"));
+        assert!(text.contains("16 KB gshare + 256-entry loop predictor"));
+        assert!(text.contains("1 MB, 32-way, 20-cycle latency"));
+        assert!(text.contains("DDR3-1600"));
+        assert!(t.rows.len() >= 10);
+    }
+}

@@ -1,0 +1,66 @@
+//! Shared L1 instruction cache among lean cores on an asymmetric CMP.
+//!
+//! This is the top-level library of the reproduction of Milic et al.,
+//! *"Sharing the Instruction Cache Among Lean Cores on an Asymmetric CMP for
+//! HPC Applications"* (ISPASS 2017).  It ties the lower-level crates
+//! together:
+//!
+//! * [`hpc_workloads`] — the 24 calibrated benchmark profiles and the
+//!   synthetic trace generator,
+//! * [`sim_acmp`] — the cycle-level ACMP simulator (cores, shared I-caches,
+//!   buses, runtime),
+//! * [`power_model`] — the McPAT/CACTI-style area and energy model,
+//! * [`acmp_analytic`] — the Hill-Marty model behind Figure 1,
+//!
+//! and exposes the experiment layer used by the examples, the integration
+//! tests and the benchmark harness:
+//!
+//! * [`DesignPoint`] — the machine configurations evaluated in the paper
+//!   (baseline, naive sharing, more line buffers, more bandwidth, the
+//!   proposed 16 KB double-bus design, all-shared),
+//! * [`ExperimentContext`] — generates traces once per benchmark, runs
+//!   simulations (in parallel across benchmarks) and caches the results,
+//! * [`figures`] — one module per table/figure of the paper, each computing
+//!   the same rows/series the paper reports.
+//!
+//! # Quick start
+//!
+//! ```
+//! use shared_icache::{DesignPoint, ExperimentContext};
+//! use hpc_workloads::{Benchmark, GeneratorConfig};
+//!
+//! // A reduced-scale context so the example runs quickly.
+//! let ctx = ExperimentContext::new(GeneratorConfig::small());
+//! let baseline = ctx.simulate(Benchmark::Cg, &DesignPoint::baseline());
+//! let proposed = ctx.simulate(Benchmark::Cg, &DesignPoint::proposed());
+//! let slowdown = proposed.cycles as f64 / baseline.cycles as f64;
+//! assert!(slowdown < 1.2);
+//! ```
+
+pub mod design_point;
+pub mod experiment;
+pub mod figures;
+pub mod report;
+
+pub use design_point::DesignPoint;
+pub use experiment::ExperimentContext;
+pub use report::{arithmetic_mean, geometric_mean, TextTable};
+
+// Re-export the crates a downstream user needs to drive the library.
+pub use acmp_analytic;
+pub use hpc_workloads;
+pub use power_model;
+pub use sim_acmp;
+pub use sim_trace;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DesignPoint>();
+        assert_send_sync::<ExperimentContext>();
+    }
+}

@@ -1,0 +1,197 @@
+//! The 24 evaluated HPC benchmarks and their suites.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The benchmark suite a workload comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Suite {
+    /// NAS Parallel Benchmarks (class C inputs in the paper).
+    Npb,
+    /// SPEC OMP 2012 (reference inputs in the paper).
+    SpecOmp2012,
+    /// ExMatEx proxy applications (default inputs in the paper).
+    ExMatEx,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::Npb => "NPB",
+            Suite::SpecOmp2012 => "SPEC OMP 2012",
+            Suite::ExMatEx => "ExMatEx",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the 24 HPC workloads evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    // NPB suite.
+    Bt,
+    Cg,
+    Dc,
+    Ep,
+    Ft,
+    Is,
+    Lu,
+    Mg,
+    Sp,
+    Ua,
+    // SPEC OMP 2012.
+    Md,
+    Bwaves,
+    Nab,
+    BotsSpar,
+    BotsAlgn,
+    Ilbdc,
+    Fma3d,
+    Imagick,
+    Smithwa,
+    Kdtree,
+    // ExMatEx.
+    CoEvp,
+    CoMd,
+    CoSp,
+    Lulesh,
+}
+
+impl Benchmark {
+    /// Every benchmark, in the order used by the paper's figures.
+    pub const ALL: [Benchmark; 24] = [
+        Benchmark::Bt,
+        Benchmark::Cg,
+        Benchmark::Dc,
+        Benchmark::Ep,
+        Benchmark::Ft,
+        Benchmark::Is,
+        Benchmark::Lu,
+        Benchmark::Mg,
+        Benchmark::Sp,
+        Benchmark::Ua,
+        Benchmark::Md,
+        Benchmark::Bwaves,
+        Benchmark::Nab,
+        Benchmark::BotsSpar,
+        Benchmark::BotsAlgn,
+        Benchmark::Ilbdc,
+        Benchmark::Fma3d,
+        Benchmark::Imagick,
+        Benchmark::Smithwa,
+        Benchmark::Kdtree,
+        Benchmark::CoEvp,
+        Benchmark::CoMd,
+        Benchmark::CoSp,
+        Benchmark::Lulesh,
+    ];
+
+    /// The benchmark's suite.
+    pub fn suite(self) -> Suite {
+        use Benchmark::*;
+        match self {
+            Bt | Cg | Dc | Ep | Ft | Is | Lu | Mg | Sp | Ua => Suite::Npb,
+            Md | Bwaves | Nab | BotsSpar | BotsAlgn | Ilbdc | Fma3d | Imagick | Smithwa
+            | Kdtree => Suite::SpecOmp2012,
+            CoEvp | CoMd | CoSp | Lulesh => Suite::ExMatEx,
+        }
+    }
+
+    /// The name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        use Benchmark::*;
+        match self {
+            Bt => "BT",
+            Cg => "CG",
+            Dc => "DC",
+            Ep => "EP",
+            Ft => "FT",
+            Is => "IS",
+            Lu => "LU",
+            Mg => "MG",
+            Sp => "SP",
+            Ua => "UA",
+            Md => "md",
+            Bwaves => "bwaves",
+            Nab => "nab",
+            BotsSpar => "botsspar",
+            BotsAlgn => "botsalgn",
+            Ilbdc => "ilbdc",
+            Fma3d => "fma3d",
+            Imagick => "imagick",
+            Smithwa => "smithwa",
+            Kdtree => "kdtree",
+            CoEvp => "CoEVP",
+            CoMd => "CoMD",
+            CoSp => "CoSP",
+            Lulesh => "LULESH",
+        }
+    }
+
+    /// Looks a benchmark up by its figure name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The calibrated workload profile for this benchmark.
+    pub fn profile(self) -> crate::profile::WorkloadProfile {
+        crate::profile::WorkloadProfile::for_benchmark(self)
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_24_benchmarks() {
+        assert_eq!(Benchmark::ALL.len(), 24);
+        let npb = Benchmark::ALL.iter().filter(|b| b.suite() == Suite::Npb).count();
+        let spec = Benchmark::ALL
+            .iter()
+            .filter(|b| b.suite() == Suite::SpecOmp2012)
+            .count();
+        let exm = Benchmark::ALL
+            .iter()
+            .filter(|b| b.suite() == Suite::ExMatEx)
+            .count();
+        assert_eq!((npb, spec, exm), (10, 10, 4));
+    }
+
+    #[test]
+    fn names_are_unique_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        for b in Benchmark::ALL {
+            assert!(seen.insert(b.name()), "duplicate name {}", b.name());
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(Benchmark::from_name(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("not-a-benchmark"), None);
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(Benchmark::CoEvp.to_string(), "CoEVP");
+        assert_eq!(Benchmark::Lulesh.to_string(), "LULESH");
+        assert_eq!(Benchmark::BotsSpar.to_string(), "botsspar");
+        assert_eq!(Suite::SpecOmp2012.to_string(), "SPEC OMP 2012");
+    }
+
+    #[test]
+    fn every_benchmark_has_a_profile() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            assert_eq!(p.benchmark, b);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Synthetic HPC workload profiles and trace generation.
+//!
+//! The paper instruments 24 OpenMP benchmarks (the NPB suite, SPEC OMP 2012
+//! and the ExMatEx proxy applications) with Pin and replays the resulting
+//! per-thread traces in TaskSim.  Those traces and the proprietary inputs
+//! are not available here, so this crate provides the documented
+//! substitution (see `DESIGN.md`): each benchmark is described by a
+//! [`WorkloadProfile`] whose parameters are calibrated against the paper's
+//! own characterisation figures —
+//!
+//! * serial-code fraction (Fig. 13 x-axis),
+//! * average dynamic basic-block length in serial and parallel code
+//!   (Fig. 2),
+//! * I-cache behaviour per region via *cold-walk* fractions (Fig. 3 and the
+//!   absolute MPKI labels of Fig. 11),
+//! * instruction sharing across threads (Fig. 4),
+//! * per-region commit rates standing in for the measured i7/Cortex-A9 IPC
+//!   values,
+//! * loop working-set sizes, which determine the line-buffer hit rate
+//!   (Fig. 9) and the bus pressure (Figs. 7 and 10).
+//!
+//! [`TraceGenerator`] turns a profile into a deterministic, seeded
+//! [`sim_trace::TraceSet`] with the fork-join structure (parallel start/end,
+//! barriers, optional critical sections) that the ACMP runtime in `sim-acmp`
+//! replays.
+//!
+//! # Example
+//!
+//! ```
+//! use hpc_workloads::{Benchmark, GeneratorConfig, TraceGenerator};
+//!
+//! let profile = Benchmark::Lu.profile();
+//! let config = GeneratorConfig::small();
+//! let traces = TraceGenerator::new(profile, config).generate();
+//! assert_eq!(traces.num_threads(), config.num_workers + 1);
+//! ```
+
+pub mod benchmark;
+pub mod generator;
+pub mod layout;
+pub mod profile;
+
+pub use benchmark::{Benchmark, Suite};
+pub use generator::{GeneratorConfig, TraceGenerator};
+pub use layout::{CodeLayout, KernelLayout};
+pub use profile::WorkloadProfile;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Benchmark>();
+        assert_send_sync::<WorkloadProfile>();
+        assert_send_sync::<GeneratorConfig>();
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared I-bus area and power model (Section VI-D of the paper).
+//!
+//! The bus is wired over logic, so its area is the area of its wires: the
+//! number of wires (data width plus address lines) times the wire pitch
+//! gives the physical width, and the paper estimates the length as the
+//! number of connected cores times that physical width — hence the quadratic
+//! dependence of area on line width.  Doubling the number of buses
+//! quadruples the interconnect area (each bus still spans all cores and the
+//! wiring channels do not share).  Power is proportional to area (the
+//! power-to-area relation the paper takes from McPAT's NoC component), with
+//! the dynamic share proportional to the number of transactions.
+
+use crate::technology::TechnologyNode;
+use serde::{Deserialize, Serialize};
+
+/// Address wires added on top of the data wires.
+const ADDRESS_WIRES: u64 = 40;
+/// Total bus power per mm² of bus area, in mW/mm² (the power-to-area
+/// coefficient lifted from the NoC component).
+const POWER_PER_MM2_MW: f64 = 120.0;
+/// Fraction of the bus power that is static at a reference utilisation; the
+/// rest scales with transactions.
+const STATIC_FRACTION: f64 = 0.6;
+/// Transactions per second at which the dynamic share equals its reference
+/// value (one transaction every 16 cycles at 2 GHz).
+const REF_TRANSACTIONS_PER_S: f64 = 1.25e8;
+
+/// Area/power model for the interconnect between a sharing group and its
+/// I-cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusAreaModel {
+    /// Data width of one bus in bytes (Table I: 32 B).
+    pub width_bytes: u64,
+    /// Number of cores connected to the bus.
+    pub num_cores: usize,
+    /// Number of buses (1 = single, 2 = double).
+    pub num_buses: usize,
+    /// Technology assumptions.
+    pub technology: TechnologyNode,
+}
+
+impl BusAreaModel {
+    /// Creates a bus model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width, core count or bus count is zero.
+    pub fn new(width_bytes: u64, num_cores: usize, num_buses: usize) -> Self {
+        assert!(width_bytes > 0, "bus width must be positive");
+        assert!(num_cores > 0, "a bus connects at least one core");
+        assert!(num_buses > 0, "need at least one bus");
+        BusAreaModel {
+            width_bytes,
+            num_cores,
+            num_buses,
+            technology: TechnologyNode::node_45nm(),
+        }
+    }
+
+    /// Number of wires of one bus.
+    pub fn wires(&self) -> u64 {
+        self.width_bytes * 8 + ADDRESS_WIRES
+    }
+
+    /// Physical width of one bus in millimetres (wires × pitch).
+    pub fn physical_width_mm(&self) -> f64 {
+        self.wires() as f64 * self.technology.wire_pitch_nm * 1e-6
+    }
+
+    /// Length of one bus in millimetres (number of cores × physical width,
+    /// as in the paper's estimate).
+    pub fn length_mm(&self) -> f64 {
+        self.num_cores as f64 * self.physical_width_mm()
+    }
+
+    /// Total interconnect area in mm².  With `n` buses the area is `n²`
+    /// times the single-bus area.
+    pub fn area_mm2(&self) -> f64 {
+        let single = self.physical_width_mm() * self.length_mm();
+        single * (self.num_buses * self.num_buses) as f64
+    }
+
+    /// Total (static + dynamic at reference utilisation) power in mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.area_mm2() * POWER_PER_MM2_MW
+    }
+
+    /// Static power in mW.
+    pub fn static_power_mw(&self) -> f64 {
+        self.total_power_mw() * STATIC_FRACTION
+    }
+
+    /// Dynamic energy per bus transaction in pJ, derived from the
+    /// power-to-area relation: the dynamic share of the power at the
+    /// reference transaction rate, divided by that rate.
+    pub fn energy_per_transaction_pj(&self) -> f64 {
+        let dynamic_mw = self.total_power_mw() * (1.0 - STATIC_FRACTION);
+        // mW / (transactions/s) = nJ per transaction; convert to pJ.
+        dynamic_mw / REF_TRANSACTIONS_PER_S * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheCostModel;
+
+    #[test]
+    fn area_is_quadratic_in_width() {
+        let narrow = BusAreaModel::new(16, 8, 1);
+        let wide = BusAreaModel::new(32, 8, 1);
+        let ratio = wide.area_mm2() / narrow.area_mm2();
+        // Wires go from 168 to 296: the area ratio is the square of the wire
+        // ratio (both the width and the length scale with it).
+        let expected = (296.0f64 / 168.0).powi(2);
+        assert!((ratio - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn doubling_buses_quadruples_area() {
+        let single = BusAreaModel::new(32, 8, 1);
+        let double = BusAreaModel::new(32, 8, 2);
+        assert!((double.area_mm2() - 4.0 * single.area_mm2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_is_linear_in_core_count() {
+        let four = BusAreaModel::new(32, 4, 1);
+        let eight = BusAreaModel::new(32, 8, 1);
+        assert!((eight.area_mm2() - 2.0 * four.area_mm2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_bus_is_a_sizeable_fraction_of_a_16k_cache() {
+        // The paper estimates the double I-bus at roughly 45 % of a 16 KB
+        // I-cache; our wire model lands in the same region (tens of percent,
+        // clearly smaller than the cache but not negligible).
+        let bus = BusAreaModel::new(32, 8, 2).area_mm2();
+        let cache = CacheCostModel::new(16 * 1024).area_mm2();
+        let ratio = bus / cache;
+        assert!(
+            ratio > 0.2 && ratio < 0.9,
+            "double-bus/16KB-cache area ratio should be a substantial fraction, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn power_follows_area() {
+        let a = BusAreaModel::new(32, 8, 1);
+        let b = BusAreaModel::new(32, 8, 2);
+        assert!((b.total_power_mw() / a.total_power_mw() - 4.0).abs() < 1e-9);
+        assert!(a.static_power_mw() < a.total_power_mw());
+        assert!(a.energy_per_transaction_pj() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bus")]
+    fn zero_buses_rejected() {
+        BusAreaModel::new(32, 8, 0);
+    }
+}

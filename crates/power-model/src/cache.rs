@@ -1,0 +1,114 @@
+//! CACTI-like cache cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Reference area of a 32 KB, 8-way I-cache in mm² at 45 nm, chosen so the
+/// I-cache is ≈ 15 % of the lean core's area, as McPAT reports for the
+/// Cortex-A9 (Section II-C of the paper).
+const REF_AREA_32K_MM2: f64 = 0.30;
+/// Reference leakage (static) power of the 32 KB I-cache in mW, ≈ 15 % of
+/// the lean core's static power.
+const REF_STATIC_32K_MW: f64 = 30.0;
+/// Reference read energy of the 32 KB I-cache in pJ per access.
+const REF_READ_32K_PJ: f64 = 180.0;
+/// Area exponent: SRAM area scales slightly sub-linearly with capacity
+/// (smaller arrays pay proportionally more for periphery).
+const AREA_EXPONENT: f64 = 0.85;
+/// Dynamic-energy exponent: read energy scales roughly with the square root
+/// of capacity (shorter bit/word lines).
+const ENERGY_EXPONENT: f64 = 0.5;
+
+/// Area, leakage and per-access energy of one instruction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheCostModel {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+}
+
+impl CacheCostModel {
+    /// Creates a cost model for a cache of `size_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is zero.
+    pub fn new(size_bytes: u64) -> Self {
+        assert!(size_bytes > 0, "cache size must be positive");
+        CacheCostModel { size_bytes }
+    }
+
+    fn ratio(&self) -> f64 {
+        self.size_bytes as f64 / (32.0 * 1024.0)
+    }
+
+    /// Silicon area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        REF_AREA_32K_MM2 * self.ratio().powf(AREA_EXPONENT)
+    }
+
+    /// Leakage power in mW (scales linearly with capacity).
+    pub fn static_power_mw(&self) -> f64 {
+        REF_STATIC_32K_MW * self.ratio()
+    }
+
+    /// Energy per read access in pJ.
+    pub fn read_energy_pj(&self) -> f64 {
+        REF_READ_32K_PJ * self.ratio().powf(ENERGY_EXPONENT)
+    }
+}
+
+/// Cost of one line buffer (a single 64 B register with comparators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LineBufferCost;
+
+impl LineBufferCost {
+    /// Area of one line buffer in mm².
+    pub const AREA_MM2: f64 = 0.004;
+    /// Leakage of one line buffer in mW.
+    pub const STATIC_MW: f64 = 0.4;
+    /// Energy per read from a line buffer in pJ (an order of magnitude
+    /// cheaper than an I-cache access).
+    pub const READ_PJ: f64 = 15.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point_is_32k() {
+        let c = CacheCostModel::new(32 * 1024);
+        assert!((c.area_mm2() - REF_AREA_32K_MM2).abs() < 1e-12);
+        assert!((c.static_power_mw() - REF_STATIC_32K_MW).abs() < 1e-12);
+        assert!((c.read_energy_pj() - REF_READ_32K_PJ).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halving_capacity_reduces_everything_sublinearly() {
+        let full = CacheCostModel::new(32 * 1024);
+        let half = CacheCostModel::new(16 * 1024);
+        assert!(half.area_mm2() < full.area_mm2());
+        assert!(half.area_mm2() > full.area_mm2() / 2.0, "area has periphery overhead");
+        assert!((half.static_power_mw() - full.static_power_mw() / 2.0).abs() < 1e-9);
+        assert!(half.read_energy_pj() < full.read_energy_pj());
+        assert!(half.read_energy_pj() > full.read_energy_pj() / 2.0);
+    }
+
+    #[test]
+    fn a_16k_cache_is_much_cheaper_per_access_than_32k() {
+        let r = CacheCostModel::new(16 * 1024).read_energy_pj()
+            / CacheCostModel::new(32 * 1024).read_energy_pj();
+        assert!((r - (0.5f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_buffer_is_far_smaller_than_a_cache() {
+        assert!(LineBufferCost::AREA_MM2 * 8.0 < CacheCostModel::new(16 * 1024).area_mm2());
+        assert!(LineBufferCost::READ_PJ < CacheCostModel::new(16 * 1024).read_energy_pj());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_size_rejected() {
+        CacheCostModel::new(0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Lean-core (Cortex-A9-like) cost constants, excluding the I-cache.
+//!
+//! The I-cache is modelled separately (`cache` module) so that the private
+//! and shared organisations can be compared; what remains here is the rest
+//! of the core: pipeline, register files, L1 D-cache, TLBs.  The constants
+//! are chosen so that a 32 KB I-cache represents ≈ 15 % of the complete
+//! core's area and power, the anchor the paper quotes from McPAT for the
+//! Cortex-A9.
+
+use crate::cache::CacheCostModel;
+use serde::{Deserialize, Serialize};
+
+/// Cost model of one lean core without its L1 I-cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LeanCoreModel;
+
+impl LeanCoreModel {
+    /// Area of the core excluding the I-cache, in mm² at 45 nm.
+    pub const AREA_MM2: f64 = 1.70;
+    /// Static (leakage) power excluding the I-cache, in mW.
+    pub const STATIC_MW: f64 = 170.0;
+    /// Dynamic energy per committed instruction, in pJ (covers the back-end,
+    /// D-cache and register files).
+    pub const ENERGY_PER_INSTR_PJ: f64 = 160.0;
+
+    /// Area of the complete core (including a private I-cache of
+    /// `icache_bytes`).
+    pub fn area_with_icache_mm2(icache_bytes: u64) -> f64 {
+        Self::AREA_MM2 + CacheCostModel::new(icache_bytes).area_mm2()
+    }
+
+    /// Fraction of the complete core's area taken by a private I-cache of
+    /// `icache_bytes`.
+    pub fn icache_area_fraction(icache_bytes: u64) -> f64 {
+        let icache = CacheCostModel::new(icache_bytes).area_mm2();
+        icache / (Self::AREA_MM2 + icache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icache_is_about_15_percent_of_core_area() {
+        let f = LeanCoreModel::icache_area_fraction(32 * 1024);
+        assert!(
+            (0.12..=0.18).contains(&f),
+            "32KB I-cache should be ~15% of a lean core, got {:.1}%",
+            f * 100.0
+        );
+    }
+
+    #[test]
+    fn icache_static_power_is_about_15_percent_of_core_static() {
+        let icache = CacheCostModel::new(32 * 1024).static_power_mw();
+        let f = icache / (LeanCoreModel::STATIC_MW + icache);
+        assert!(
+            (0.12..=0.18).contains(&f),
+            "32KB I-cache should be ~15% of lean-core static power, got {:.1}%",
+            f * 100.0
+        );
+    }
+
+    #[test]
+    fn complete_core_area_adds_the_icache() {
+        let total = LeanCoreModel::area_with_icache_mm2(32 * 1024);
+        assert!(total > LeanCoreModel::AREA_MM2);
+        assert!((total - 2.0).abs() < 0.1, "a lean core is ~2 mm² at 45 nm");
+    }
+}

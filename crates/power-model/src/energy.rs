@@ -1,0 +1,94 @@
+//! Energy accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy consumed by a worker cluster over one benchmark run, in
+/// millijoules, broken down by component.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Leakage of cores, caches, line buffers and buses over the execution
+    /// time.
+    pub static_mj: f64,
+    /// Dynamic energy of the core pipelines (per committed instruction).
+    pub core_dynamic_mj: f64,
+    /// Dynamic energy of I-cache reads.
+    pub icache_dynamic_mj: f64,
+    /// Dynamic energy of line-buffer reads.
+    pub line_buffer_dynamic_mj: f64,
+    /// Dynamic energy of bus transactions.
+    pub bus_dynamic_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.static_mj
+            + self.core_dynamic_mj
+            + self.icache_dynamic_mj
+            + self.line_buffer_dynamic_mj
+            + self.bus_dynamic_mj
+    }
+
+    /// Fraction of the total that is leakage.
+    pub fn static_fraction(&self) -> f64 {
+        let t = self.total_mj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.static_mj / t
+        }
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            static_mj: self.static_mj + rhs.static_mj,
+            core_dynamic_mj: self.core_dynamic_mj + rhs.core_dynamic_mj,
+            icache_dynamic_mj: self.icache_dynamic_mj + rhs.icache_dynamic_mj,
+            line_buffer_dynamic_mj: self.line_buffer_dynamic_mj + rhs.line_buffer_dynamic_mj,
+            bus_dynamic_mj: self.bus_dynamic_mj + rhs.bus_dynamic_mj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_all_components() {
+        let e = EnergyBreakdown {
+            static_mj: 1.0,
+            core_dynamic_mj: 2.0,
+            icache_dynamic_mj: 0.5,
+            line_buffer_dynamic_mj: 0.25,
+            bus_dynamic_mj: 0.25,
+        };
+        assert!((e.total_mj() - 4.0).abs() < 1e-12);
+        assert!((e.static_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let e = EnergyBreakdown::default();
+        assert_eq!(e.total_mj(), 0.0);
+        assert_eq!(e.static_fraction(), 0.0);
+    }
+
+    #[test]
+    fn add_combines_componentwise() {
+        let a = EnergyBreakdown {
+            static_mj: 1.0,
+            ..Default::default()
+        };
+        let b = EnergyBreakdown {
+            bus_dynamic_mj: 2.0,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert!((c.total_mj() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,54 @@
+//! McPAT/CACTI-style analytic area, power and energy model.
+//!
+//! The paper projects the area and energy of its design points with McPAT
+//! and CACTI, using the ARM Cortex-A9 configuration as the lean-core
+//! template (Section VI-D).  Neither tool is available here, so this crate
+//! provides an analytic substitute calibrated to the relationships the paper
+//! relies on:
+//!
+//! * a lean core spends **≈ 15 %** of its area and power on its 32 KB
+//!   I-cache (quoted from McPAT for the Cortex-A9 and Niagara2);
+//! * SRAM area and leakage scale roughly linearly with capacity, while the
+//!   per-access (dynamic) energy scales with the square root of capacity
+//!   (CACTI's usual trend for small caches);
+//! * the I-bus area is wires × pitch × length, with the length proportional
+//!   to the number of connected cores and the width to the line size, giving
+//!   the quadratic dependence on width the paper cites from Kumar et al.;
+//!   bus power is proportional to bus area, with the dynamic share
+//!   proportional to the number of transactions (Section VI-D);
+//! * a double bus costs **4×** the area of a single bus, and the paper
+//!   estimates a double I-bus at ≈ 45 % of a 16 KB I-cache — the constants
+//!   below are chosen to land on those two anchor points;
+//! * energy = total power × execution time.
+//!
+//! The model works in *relative* units (mm² at 45 nm and milliwatts), which
+//! is all Figure 12 needs: every reported number is normalised to the
+//! private-I-cache baseline.
+
+pub mod bus;
+pub mod cache;
+pub mod core;
+pub mod design;
+pub mod energy;
+pub mod technology;
+
+pub use bus::BusAreaModel;
+pub use cache::{CacheCostModel, LineBufferCost};
+pub use core::LeanCoreModel;
+pub use design::{ClusterActivity, ClusterCost, ClusterDesign, IcacheOrganisation};
+pub use energy::EnergyBreakdown;
+pub use technology::TechnologyNode;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CacheCostModel>();
+        assert_send_sync::<BusAreaModel>();
+        assert_send_sync::<LeanCoreModel>();
+        assert_send_sync::<ClusterDesign>();
+    }
+}

@@ -1,0 +1,74 @@
+//! Technology assumptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Process / clock assumptions shared by every cost model.
+///
+/// The paper quotes a 45 nm wire pitch of 205 nm (from Lee et al., ISVLSI
+/// 2013) and a lean-core clock in the 2 GHz range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyNode {
+    /// Feature size in nanometres (informational).
+    pub feature_nm: u32,
+    /// Wire pitch in nanometres, used by the bus area model.
+    pub wire_pitch_nm: f64,
+    /// Core clock frequency in GHz, used to turn cycles into seconds.
+    pub clock_ghz: f64,
+}
+
+impl TechnologyNode {
+    /// The 45 nm node used throughout the paper's McPAT/CACTI projections.
+    pub fn node_45nm() -> Self {
+        TechnologyNode {
+            feature_nm: 45,
+            wire_pitch_nm: 205.0,
+            clock_ghz: 2.0,
+        }
+    }
+
+    /// Converts a cycle count into seconds at this node's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pitch or clock is not positive.
+    pub fn validate(&self) {
+        assert!(self.wire_pitch_nm > 0.0, "wire pitch must be positive");
+        assert!(self.clock_ghz > 0.0, "clock must be positive");
+    }
+}
+
+impl Default for TechnologyNode {
+    fn default() -> Self {
+        TechnologyNode::node_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_45nm_matches_paper_constants() {
+        let t = TechnologyNode::node_45nm();
+        assert_eq!(t.feature_nm, 45);
+        assert!((t.wire_pitch_nm - 205.0).abs() < 1e-9);
+        t.validate();
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let t = TechnologyNode::node_45nm();
+        assert!((t.cycles_to_seconds(2_000_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(t.cycles_to_seconds(0), 0.0);
+    }
+
+    #[test]
+    fn default_is_45nm() {
+        assert_eq!(TechnologyNode::default(), TechnologyNode::node_45nm());
+    }
+}

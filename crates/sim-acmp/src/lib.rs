@@ -1,0 +1,46 @@
+//! Cycle-level asymmetric-CMP simulator with private or shared instruction
+//! caches.
+//!
+//! This crate plays the role TaskSim plays in the paper: it instantiates the
+//! full machine of Figure 5 — one big master core plus `N` lean worker cores,
+//! private L1 I-caches (the baseline) or I-caches shared by groups of
+//! `cores-per-cache` workers reached through a single or double bus — and
+//! replays the per-thread traces produced by `hpc-workloads`, reproducing the
+//! application's fork-join structure from the synchronisation events embedded
+//! in the traces.
+//!
+//! The main entry point is [`Machine`]:
+//!
+//! ```
+//! use hpc_workloads::{Benchmark, GeneratorConfig, TraceGenerator};
+//! use sim_acmp::{AcmpConfig, Machine};
+//!
+//! let traces = TraceGenerator::new(Benchmark::Cg.profile(), GeneratorConfig::small()).generate();
+//! let config = AcmpConfig::baseline(traces.num_threads() - 1);
+//! let result = Machine::new(config, &traces).run().unwrap();
+//! assert!(result.cycles > 0);
+//! assert_eq!(result.instructions, traces.total_instructions());
+//! ```
+
+pub mod config;
+pub mod machine;
+pub mod memory;
+pub mod runtime;
+pub mod stats;
+
+pub use config::{AcmpConfig, BusWidth, SharingMode};
+pub use machine::{Machine, SimError};
+pub use stats::{CoreReport, SimResult};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<AcmpConfig>();
+        assert_send::<SimResult>();
+        assert_send::<Machine>();
+    }
+}

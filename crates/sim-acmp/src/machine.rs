@@ -1,0 +1,470 @@
+//! The full-machine cycle loop.
+
+use crate::config::AcmpConfig;
+use crate::memory::{build_units, unit_of_core, IcacheUnit, InFlightRequest, RequestPhase};
+use crate::runtime::SyncRuntime;
+use crate::stats::{CoreReport, SimResult};
+use sim_cache::CacheStats;
+use sim_core::{Core, StallKind, StallReason};
+use sim_interconnect::BusStats;
+use sim_trace::TraceSet;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle limit was reached before every core finished — either the
+    /// configuration deadlocked or the limit is too low for the trace size.
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+        /// Cores that had not finished.
+        unfinished: Vec<usize>,
+    },
+    /// The trace set does not have one trace per configured core.
+    ThreadCountMismatch {
+        /// Cores in the machine configuration.
+        expected: usize,
+        /// Traces provided.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimitExceeded { limit, unfinished } => write!(
+                f,
+                "cycle limit {limit} exceeded with cores {unfinished:?} unfinished"
+            ),
+            SimError::ThreadCountMismatch { expected, found } => write!(
+                f,
+                "machine has {expected} cores but the trace set has {found} threads"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A fully assembled ACMP ready to simulate one benchmark run.
+pub struct Machine {
+    config: AcmpConfig,
+    cores: Vec<Core>,
+    units: Vec<IcacheUnit>,
+    /// Unit index serving each core.
+    core_unit: Vec<usize>,
+    runtime: SyncRuntime,
+    in_flight: Vec<InFlightRequest>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("units", &self.units.len())
+            .field("sharing", &self.config.sharing)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds the machine described by `config` and loads one trace per
+    /// core (thread 0 on the master core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.  A mismatched thread count is
+    /// reported by [`Machine::run`] instead so callers can handle it.
+    pub fn new(config: AcmpConfig, traces: &TraceSet) -> Self {
+        config.validate();
+        let cores: Vec<Core> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let core_cfg = if i == 0 {
+                    config.master_core
+                } else {
+                    config.worker_core
+                };
+                Core::new(i, core_cfg, Box::new(t.clone().into_source()))
+            })
+            .collect();
+        let units = build_units(&config);
+        let core_unit = unit_of_core(&units, config.num_cores());
+        let runtime = SyncRuntime::new(config.num_cores());
+        Machine {
+            config,
+            cores,
+            units,
+            core_unit,
+            runtime,
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &AcmpConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ThreadCountMismatch`] if the number of loaded
+    /// traces differs from the configured core count, or
+    /// [`SimError::CycleLimitExceeded`] if the machine does not finish
+    /// within `config.max_cycles`.
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        if self.cores.len() != self.config.num_cores() {
+            return Err(SimError::ThreadCountMismatch {
+                expected: self.config.num_cores(),
+                found: self.cores.len(),
+            });
+        }
+
+        let mut cycle: u64 = 0;
+        let mut serial_cycles: u64 = 0;
+        let mut parallel_cycles: u64 = 0;
+
+        while !self.all_finished() {
+            if cycle >= self.config.max_cycles {
+                let unfinished = self
+                    .cores
+                    .iter()
+                    .filter(|c| !c.is_finished())
+                    .map(|c| c.id())
+                    .collect();
+                return Err(SimError::CycleLimitExceeded {
+                    limit: self.config.max_cycles,
+                    unfinished,
+                });
+            }
+
+            self.step(cycle);
+
+            if self.runtime.in_parallel_region() {
+                parallel_cycles += 1;
+            } else {
+                serial_cycles += 1;
+            }
+            cycle += 1;
+        }
+
+        Ok(self.collect(cycle, serial_cycles, parallel_cycles))
+    }
+
+    fn all_finished(&self) -> bool {
+        self.cores.iter().all(|c| c.is_finished())
+    }
+
+    /// Simulates one machine cycle.
+    fn step(&mut self, cycle: u64) {
+        // 1. Deliver lines whose requests completed.
+        let mut delivered = Vec::new();
+        self.in_flight.retain(|req| {
+            if req.phase != RequestPhase::WaitingGrant && req.ready <= cycle {
+                delivered.push((req.core, req.line));
+                false
+            } else {
+                true
+            }
+        });
+        for (core, line) in delivered {
+            self.cores[core].deliver_line(line, cycle);
+        }
+
+        // 2. Advance every core by one cycle.
+        for i in 0..self.cores.len() {
+            if self.cores[i].is_finished() {
+                continue;
+            }
+            let out = self.cores[i].cycle(cycle);
+
+            for line in &out.fetch_requests {
+                let unit = self.core_unit[i];
+                let req = self.units[unit].submit(cycle, i, *line);
+                self.in_flight.push(req);
+            }
+
+            if let Some(event) = out.sync_event {
+                let decision = self.runtime.handle_event(i, event);
+                for core in decision.release {
+                    self.cores[core].unblock();
+                }
+            }
+            if out.finished_now {
+                let decision = self.runtime.core_finished(i);
+                for core in decision.release {
+                    self.cores[core].unblock();
+                }
+            }
+
+            if let Some(reason) = out.stall {
+                let kind = self.attribute_stall(i, reason);
+                self.cores[i].cpi_mut().record_stall(kind);
+            }
+        }
+
+        // 3. Advance the memory system: bus grants and cache accesses.
+        for unit in &mut self.units {
+            for update in unit.tick(cycle) {
+                // Replace the matching waiting-grant entry with the resolved
+                // timing.
+                if let Some(req) = self
+                    .in_flight
+                    .iter_mut()
+                    .find(|r| {
+                        r.core == update.core
+                            && r.line == update.line
+                            && r.phase == RequestPhase::WaitingGrant
+                    })
+                {
+                    *req = update;
+                } else {
+                    // The request may already have been replaced (duplicate
+                    // line request from the same core is not expected, but a
+                    // late grant after a flush is harmless): track it anyway
+                    // so the line is still delivered.
+                    self.in_flight.push(update);
+                }
+            }
+        }
+    }
+
+    /// Maps a core's stall reason onto a CPI-stack bucket, using the state
+    /// of its in-flight requests for memory-related stalls.
+    fn attribute_stall(&self, core: usize, reason: StallReason) -> StallKind {
+        match reason {
+            StallReason::MispredictRecovery => StallKind::BranchMiss,
+            StallReason::SyncBlocked => StallKind::Sync,
+            StallReason::Other => StallKind::Other,
+            StallReason::WaitingForLine(line) => {
+                let req = self
+                    .in_flight
+                    .iter()
+                    .find(|r| r.core == core && r.line == line)
+                    .or_else(|| self.in_flight.iter().find(|r| r.core == core));
+                match req {
+                    None => StallKind::Other,
+                    Some(r) => match r.phase {
+                        RequestPhase::WaitingGrant => StallKind::IBusCongestion,
+                        RequestPhase::MissPath => StallKind::IcacheLatency,
+                        RequestPhase::HitPath => {
+                            if r.shared {
+                                StallKind::IBusLatency
+                            } else {
+                                StallKind::IcacheLatency
+                            }
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    /// Collects the final statistics.
+    fn collect(self, cycles: u64, serial_cycles: u64, parallel_cycles: u64) -> SimResult {
+        let cores: Vec<CoreReport> = self
+            .cores
+            .iter()
+            .map(|c| CoreReport {
+                core: c.id(),
+                instructions: c.instructions(),
+                cpi: *c.cpi(),
+                line_buffers: *c.line_buffer_stats(),
+                predictor: *c.predictor_stats(),
+                fetch_blocks: c.fetch_blocks(),
+            })
+            .collect();
+
+        let mut worker_icache = CacheStats::default();
+        let mut master_icache = CacheStats::default();
+        let mut bus = BusStats::default();
+        let mut l2 = CacheStats::default();
+        for unit in &self.units {
+            l2.merge(unit.l2_stats());
+            bus.merge(&unit.bus_stats());
+            let serves_master = unit.cores().contains(&0);
+            let serves_workers = unit.cores().iter().any(|&c| c != 0);
+            if serves_workers {
+                worker_icache.merge(unit.cache_stats());
+            }
+            if serves_master {
+                master_icache.merge(unit.cache_stats());
+            }
+        }
+
+        SimResult {
+            cycles,
+            instructions: cores.iter().map(|c| c.instructions).sum(),
+            parallel_cycles,
+            serial_cycles,
+            cores,
+            worker_icache,
+            master_icache,
+            bus,
+            l2,
+            parallel_regions: self.runtime.regions_completed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BusWidth;
+    use hpc_workloads::{Benchmark, GeneratorConfig, TraceGenerator};
+    use sim_trace::TraceSet;
+
+    fn traces(b: Benchmark, workers: usize, instrs: u64) -> TraceSet {
+        TraceGenerator::new(
+            b.profile(),
+            GeneratorConfig {
+                num_workers: workers,
+                parallel_instructions_per_thread: instrs,
+                num_phases: 2,
+                seed: 11,
+            },
+        )
+        .generate()
+    }
+
+    fn run(config: AcmpConfig, set: &TraceSet) -> SimResult {
+        Machine::new(config, set).run().expect("simulation completes")
+    }
+
+    #[test]
+    fn baseline_executes_every_instruction() {
+        let set = traces(Benchmark::Cg, 2, 6_000);
+        let r = run(AcmpConfig::baseline(2), &set);
+        assert_eq!(r.instructions, set.total_instructions());
+        assert!(r.cycles > 0);
+        assert_eq!(r.parallel_regions, 2);
+        assert!(r.parallel_cycles > 0);
+        assert!(r.serial_cycles > 0);
+    }
+
+    #[test]
+    fn shared_icache_executes_every_instruction() {
+        let set = traces(Benchmark::Cg, 2, 6_000);
+        let r = run(AcmpConfig::worker_shared(2, 2), &set);
+        assert_eq!(r.instructions, set.total_instructions());
+        assert!(r.bus.transactions > 0, "shared config must use the bus");
+    }
+
+    #[test]
+    fn all_shared_executes_every_instruction() {
+        let set = traces(Benchmark::Is, 2, 6_000);
+        let r = run(AcmpConfig::all_shared(2), &set);
+        assert_eq!(r.instructions, set.total_instructions());
+        // Master and workers are served by the same single cache.
+        assert_eq!(r.worker_icache, r.master_icache);
+    }
+
+    #[test]
+    fn sharing_reduces_compulsory_misses() {
+        // The same code is fetched by both workers: with private caches each
+        // one takes its own cold misses; with a shared cache the second
+        // worker reuses the first one's fills.
+        let set = traces(Benchmark::Lu, 2, 8_000);
+        let private = run(AcmpConfig::baseline(2), &set);
+        let shared = run(AcmpConfig::worker_shared(2, 2), &set);
+        assert!(
+            shared.worker_icache.compulsory_misses < private.worker_icache.compulsory_misses,
+            "shared: {} vs private: {}",
+            shared.worker_icache.compulsory_misses,
+            private.worker_icache.compulsory_misses
+        );
+    }
+
+    #[test]
+    fn sharing_does_not_slow_down_a_small_kernel_benchmark() {
+        // CG's kernel fits in the line buffers, so the bus sees little
+        // traffic and execution time should be essentially unchanged.
+        let set = traces(Benchmark::Cg, 4, 8_000);
+        let private = run(AcmpConfig::baseline(4), &set);
+        let shared = run(AcmpConfig::worker_shared(4, 4), &set);
+        let ratio = shared.cycles as f64 / private.cycles as f64;
+        assert!(
+            ratio < 1.05,
+            "sharing should not hurt a line-buffer-friendly benchmark, ratio={ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn double_bus_is_at_least_as_fast_as_single_bus() {
+        let set = traces(Benchmark::Lu, 4, 8_000);
+        let single = run(
+            AcmpConfig::worker_shared(4, 4).with_worker_icache_size(16 * 1024),
+            &set,
+        );
+        let double = run(
+            AcmpConfig::worker_shared(4, 4)
+                .with_worker_icache_size(16 * 1024)
+                .with_bus_width(BusWidth::Double),
+            &set,
+        );
+        assert!(double.cycles <= single.cycles);
+        assert!(double.worker_cpi_stack().ibus_congestion <= single.worker_cpi_stack().ibus_congestion);
+    }
+
+    #[test]
+    fn critical_sections_are_serialised_but_complete() {
+        let set = traces(Benchmark::BotsSpar, 2, 6_000);
+        let r = run(AcmpConfig::baseline(2), &set);
+        assert_eq!(r.instructions, set.total_instructions());
+    }
+
+    #[test]
+    fn thread_count_mismatch_is_reported() {
+        let set = traces(Benchmark::Cg, 2, 6_000);
+        let err = Machine::new(AcmpConfig::baseline(4), &set).run().unwrap_err();
+        assert!(matches!(err, SimError::ThreadCountMismatch { expected: 5, found: 3 }));
+        assert!(err.to_string().contains("5 cores"));
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let set = traces(Benchmark::Cg, 2, 6_000);
+        let mut cfg = AcmpConfig::baseline(2);
+        cfg.max_cycles = 100;
+        let err = Machine::new(cfg, &set).run().unwrap_err();
+        assert!(matches!(err, SimError::CycleLimitExceeded { limit: 100, .. }));
+    }
+
+    #[test]
+    fn sim_is_deterministic() {
+        let set = traces(Benchmark::Ft, 2, 6_000);
+        let a = run(AcmpConfig::worker_shared(2, 2), &set);
+        let b = run(AcmpConfig::worker_shared(2, 2), &set);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workers_spend_time_waiting_at_sync_points() {
+        let set = traces(Benchmark::Ft, 2, 6_000);
+        let r = run(AcmpConfig::baseline(2), &set);
+        // Workers must wait for the master's serial sections.
+        let worker_sync: u64 = r.cores.iter().skip(1).map(|c| c.cpi.sync).sum();
+        assert!(worker_sync > 0, "workers should block while the master runs serial code");
+    }
+
+    #[test]
+    fn congestion_appears_with_one_bus_and_many_cores() {
+        // A streaming benchmark (large kernel) shared by 4 cores over a
+        // single bus should show congestion stalls.
+        let set = traces(Benchmark::Lu, 4, 8_000);
+        let r = run(
+            AcmpConfig::worker_shared(4, 4).with_worker_icache_size(16 * 1024),
+            &set,
+        );
+        let stack = r.worker_cpi_stack();
+        assert!(
+            stack.ibus_congestion + stack.ibus_latency > 0,
+            "a shared single bus must introduce bus-related stall cycles"
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! The simulated OpenMP runtime.
+//!
+//! The traces carry five synchronisation events (parallel start/end, barrier,
+//! and wait/signal on critical sections), mirroring the paper's PinTool.
+//! This module reproduces the fork-join schedule from those events: it
+//! decides which blocked cores may resume each cycle, exactly like the
+//! "double role" of the paper's simulation framework (Section V-A).
+
+use sim_trace::SyncEvent;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// What the runtime wants the machine to do after handling an event.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RuntimeDecision {
+    /// Cores (by id) that must be unblocked this cycle.
+    pub release: Vec<usize>,
+}
+
+/// Tracks fork/join, barrier and lock state across cores.
+#[derive(Debug)]
+pub struct SyncRuntime {
+    num_cores: usize,
+    /// Cores that have arrived at the pending `ParallelStart`.
+    start_arrivals: BTreeSet<usize>,
+    /// Cores that have arrived at the pending `ParallelEnd`.
+    end_arrivals: BTreeSet<usize>,
+    /// Arrivals per barrier id.
+    barrier_arrivals: BTreeMap<u32, BTreeSet<usize>>,
+    /// Holder and wait queue per lock id.
+    locks: BTreeMap<u32, LockState>,
+    /// Whether a parallel region is currently executing.
+    in_parallel: bool,
+    /// Cores that have finished their trace (they no longer participate in
+    /// collective synchronisation).
+    finished: BTreeSet<usize>,
+    /// Number of parallel regions completed.
+    regions_completed: u64,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+impl SyncRuntime {
+    /// Creates a runtime for `num_cores` cores (master + workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn new(num_cores: usize) -> Self {
+        assert!(num_cores > 0, "need at least one core");
+        SyncRuntime {
+            num_cores,
+            start_arrivals: BTreeSet::new(),
+            end_arrivals: BTreeSet::new(),
+            barrier_arrivals: BTreeMap::new(),
+            locks: BTreeMap::new(),
+            in_parallel: false,
+            finished: BTreeSet::new(),
+            regions_completed: 0,
+        }
+    }
+
+    /// Whether a parallel region is currently active.
+    pub fn in_parallel_region(&self) -> bool {
+        self.in_parallel
+    }
+
+    /// Number of fork/join regions completed so far.
+    pub fn regions_completed(&self) -> u64 {
+        self.regions_completed
+    }
+
+    /// Number of cores still participating in collective synchronisation.
+    fn active_cores(&self) -> usize {
+        self.num_cores - self.finished.len()
+    }
+
+    /// Records that `core` finished its trace.
+    ///
+    /// Returns any cores that can now be released because the finished core
+    /// was the last straggler of a collective operation.
+    pub fn core_finished(&mut self, core: usize) -> RuntimeDecision {
+        self.finished.insert(core);
+        // A finished core can no longer arrive anywhere; re-check every
+        // collective condition.
+        let mut decision = RuntimeDecision::default();
+        decision.release.extend(self.check_start());
+        decision.release.extend(self.check_end());
+        let ids: Vec<u32> = self.barrier_arrivals.keys().copied().collect();
+        for id in ids {
+            decision.release.extend(self.check_barrier(id));
+        }
+        decision
+    }
+
+    /// Handles a synchronisation event reported by `core` and returns the
+    /// cores to release.
+    pub fn handle_event(&mut self, core: usize, event: SyncEvent) -> RuntimeDecision {
+        let mut decision = RuntimeDecision::default();
+        match event {
+            SyncEvent::ParallelStart { .. } => {
+                self.start_arrivals.insert(core);
+                decision.release.extend(self.check_start());
+            }
+            SyncEvent::ParallelEnd => {
+                self.end_arrivals.insert(core);
+                decision.release.extend(self.check_end());
+            }
+            SyncEvent::Barrier { id } => {
+                self.barrier_arrivals.entry(id).or_default().insert(core);
+                decision.release.extend(self.check_barrier(id));
+            }
+            SyncEvent::CriticalWait { id } => {
+                let lock = self.locks.entry(id).or_default();
+                if lock.holder.is_none() {
+                    lock.holder = Some(core);
+                    decision.release.push(core);
+                } else {
+                    lock.waiters.push_back(core);
+                }
+            }
+            SyncEvent::CriticalSignal { id } => {
+                let lock = self.locks.entry(id).or_default();
+                debug_assert_eq!(lock.holder, Some(core), "signal from a non-holder");
+                lock.holder = None;
+                // The signalling core continues immediately.
+                decision.release.push(core);
+                if let Some(next) = lock.waiters.pop_front() {
+                    lock.holder = Some(next);
+                    decision.release.push(next);
+                }
+            }
+        }
+        decision
+    }
+
+    fn check_start(&mut self) -> Vec<usize> {
+        if !self.start_arrivals.is_empty() && self.start_arrivals.len() >= self.active_cores() {
+            let released: Vec<usize> = self.start_arrivals.iter().copied().collect();
+            self.start_arrivals.clear();
+            self.in_parallel = true;
+            released
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn check_end(&mut self) -> Vec<usize> {
+        if !self.end_arrivals.is_empty() && self.end_arrivals.len() >= self.active_cores() {
+            let released: Vec<usize> = self.end_arrivals.iter().copied().collect();
+            self.end_arrivals.clear();
+            self.in_parallel = false;
+            self.regions_completed += 1;
+            released
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn check_barrier(&mut self, id: u32) -> Vec<usize> {
+        let arrived = self
+            .barrier_arrivals
+            .get(&id)
+            .map(|s| s.len())
+            .unwrap_or(0);
+        if arrived > 0 && arrived >= self.active_cores() {
+            let released: Vec<usize> = self
+                .barrier_arrivals
+                .remove(&id)
+                .map(|s| s.into_iter().collect())
+                .unwrap_or_default();
+            released
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_start_waits_for_all_cores() {
+        let mut rt = SyncRuntime::new(3);
+        assert!(rt
+            .handle_event(1, SyncEvent::ParallelStart { num_threads: 3 })
+            .release
+            .is_empty());
+        assert!(rt
+            .handle_event(2, SyncEvent::ParallelStart { num_threads: 3 })
+            .release
+            .is_empty());
+        assert!(!rt.in_parallel_region());
+        let d = rt.handle_event(0, SyncEvent::ParallelStart { num_threads: 3 });
+        assert_eq!(d.release, vec![0, 1, 2]);
+        assert!(rt.in_parallel_region());
+    }
+
+    #[test]
+    fn parallel_end_joins_all_cores() {
+        let mut rt = SyncRuntime::new(2);
+        rt.handle_event(0, SyncEvent::ParallelStart { num_threads: 2 });
+        rt.handle_event(1, SyncEvent::ParallelStart { num_threads: 2 });
+        assert!(rt.handle_event(0, SyncEvent::ParallelEnd).release.is_empty());
+        let d = rt.handle_event(1, SyncEvent::ParallelEnd);
+        assert_eq!(d.release, vec![0, 1]);
+        assert!(!rt.in_parallel_region());
+        assert_eq!(rt.regions_completed(), 1);
+    }
+
+    #[test]
+    fn barrier_releases_only_its_own_id() {
+        let mut rt = SyncRuntime::new(2);
+        assert!(rt.handle_event(0, SyncEvent::Barrier { id: 1 }).release.is_empty());
+        assert!(rt.handle_event(1, SyncEvent::Barrier { id: 2 }).release.is_empty());
+        let d = rt.handle_event(1, SyncEvent::Barrier { id: 1 });
+        assert_eq!(d.release, vec![0, 1]);
+        let d = rt.handle_event(0, SyncEvent::Barrier { id: 2 });
+        assert_eq!(d.release, vec![0, 1]);
+    }
+
+    #[test]
+    fn critical_section_is_mutually_exclusive() {
+        let mut rt = SyncRuntime::new(3);
+        // Core 0 acquires immediately.
+        assert_eq!(rt.handle_event(0, SyncEvent::CriticalWait { id: 5 }).release, vec![0]);
+        // Cores 1 and 2 must wait.
+        assert!(rt.handle_event(1, SyncEvent::CriticalWait { id: 5 }).release.is_empty());
+        assert!(rt.handle_event(2, SyncEvent::CriticalWait { id: 5 }).release.is_empty());
+        // Core 0 releases: itself continues and core 1 (FIFO) acquires.
+        let d = rt.handle_event(0, SyncEvent::CriticalSignal { id: 5 });
+        assert_eq!(d.release, vec![0, 1]);
+        // Core 1 releases: core 2 acquires.
+        let d = rt.handle_event(1, SyncEvent::CriticalSignal { id: 5 });
+        assert_eq!(d.release, vec![1, 2]);
+    }
+
+    #[test]
+    fn independent_locks_do_not_interfere() {
+        let mut rt = SyncRuntime::new(2);
+        assert_eq!(rt.handle_event(0, SyncEvent::CriticalWait { id: 1 }).release, vec![0]);
+        assert_eq!(rt.handle_event(1, SyncEvent::CriticalWait { id: 2 }).release, vec![1]);
+    }
+
+    #[test]
+    fn finished_core_does_not_block_collectives() {
+        let mut rt = SyncRuntime::new(3);
+        rt.handle_event(1, SyncEvent::Barrier { id: 9 });
+        rt.handle_event(2, SyncEvent::Barrier { id: 9 });
+        // Core 0 finishes instead of arriving: the barrier must now release.
+        let d = rt.core_finished(0);
+        assert_eq!(d.release, vec![1, 2]);
+    }
+
+    #[test]
+    fn two_phase_fork_join_sequence() {
+        let mut rt = SyncRuntime::new(2);
+        for _ in 0..2 {
+            rt.handle_event(1, SyncEvent::ParallelStart { num_threads: 2 });
+            let d = rt.handle_event(0, SyncEvent::ParallelStart { num_threads: 2 });
+            assert_eq!(d.release.len(), 2);
+            rt.handle_event(0, SyncEvent::ParallelEnd);
+            let d = rt.handle_event(1, SyncEvent::ParallelEnd);
+            assert_eq!(d.release.len(), 2);
+        }
+        assert_eq!(rt.regions_completed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        SyncRuntime::new(0);
+    }
+}

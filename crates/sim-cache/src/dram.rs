@@ -1,0 +1,158 @@
+//! Simple DRAM timing model.
+//!
+//! Table I of the paper only says "timing parameters = standard" and that
+//! the values match the Micron DDR3-1600 specification.  For instruction
+//! fills — which are rare and have high row-buffer locality — a row-buffer
+//! model with DDR3-1600-like parameters (CL-tRCD-tRP = 11-11-11 at 800 MHz,
+//! expressed in CPU cycles at a 2 GHz core clock, i.e. ×2.5) captures the
+//! relevant behaviour: a row hit costs roughly CL, a row miss roughly
+//! tRP + tRCD + CL.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// DRAM timing and organisation parameters (in CPU cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Column access latency (CAS) in CPU cycles.
+    pub cas_cycles: u64,
+    /// Row-to-column delay (tRCD) in CPU cycles.
+    pub rcd_cycles: u64,
+    /// Row precharge time (tRP) in CPU cycles.
+    pub rp_cycles: u64,
+    /// Data-transfer time for one 64 B line in CPU cycles.
+    pub burst_cycles: u64,
+    /// Row (page) size in bytes.
+    pub row_size: u64,
+    /// Number of banks (each bank keeps one open row).
+    pub num_banks: u64,
+}
+
+impl DramConfig {
+    /// DDR3-1600 11-11-11 timing expressed in cycles of a 2 GHz core.
+    ///
+    /// 11 memory-bus cycles at 800 MHz = 13.75 ns ≈ 28 CPU cycles at 2 GHz;
+    /// a 64 B burst (4 beats of a 64-bit DDR interface) takes 2.5 ns ≈ 5 CPU
+    /// cycles.
+    pub fn ddr3_1600() -> Self {
+        DramConfig {
+            cas_cycles: 28,
+            rcd_cycles: 28,
+            rp_cycles: 28,
+            burst_cycles: 5,
+            row_size: 8 * 1024,
+            num_banks: 8,
+        }
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::ddr3_1600()
+    }
+}
+
+/// DRAM access statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit the open row.
+    pub row_hits: u64,
+    /// Accesses that required opening a new row.
+    pub row_misses: u64,
+}
+
+/// An open-row DRAM model with per-bank row buffers.
+#[derive(Debug)]
+pub struct Dram {
+    config: DramConfig,
+    open_rows: HashMap<u64, u64>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates a DRAM with the given timing.
+    pub fn new(config: DramConfig) -> Self {
+        Dram {
+            config,
+            open_rows: HashMap::new(),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The timing parameters.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Performs one line read at `addr`, returning its latency in CPU
+    /// cycles.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        self.stats.accesses += 1;
+        let row = addr / self.config.row_size;
+        let bank = row % self.config.num_banks;
+        let open = self.open_rows.insert(bank, row);
+        let row_hit = open == Some(row);
+        if row_hit {
+            self.stats.row_hits += 1;
+            self.config.cas_cycles + self.config.burst_cycles
+        } else {
+            self.stats.row_misses += 1;
+            let precharge = if open.is_some() { self.config.rp_cycles } else { 0 };
+            precharge + self.config.rcd_cycles + self.config.cas_cycles + self.config.burst_cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_hit_is_cheaper_than_row_miss() {
+        let mut d = Dram::new(DramConfig::ddr3_1600());
+        let first = d.access(0x0000); // bank 0, opens row 0 (no precharge)
+        let hit = d.access(0x0040); // same row
+        assert!(hit < first || first == hit, "first access has no precharge");
+        // Conflict: a different row in the same bank (row + num_banks).
+        let cfg = *d.config();
+        let conflict_addr = cfg.row_size * cfg.num_banks;
+        let miss = d.access(conflict_addr);
+        assert!(miss > hit, "row conflict {miss} should exceed row hit {hit}");
+        assert_eq!(d.stats().accesses, 3);
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn sequential_lines_mostly_hit_the_row() {
+        let mut d = Dram::new(DramConfig::ddr3_1600());
+        for i in 0..128u64 {
+            d.access(i * 64); // 8 KB row holds 128 lines
+        }
+        assert_eq!(d.stats().row_misses, 1);
+        assert_eq!(d.stats().row_hits, 127);
+    }
+
+    #[test]
+    fn different_banks_keep_independent_rows() {
+        let mut d = Dram::new(DramConfig::ddr3_1600());
+        let cfg = *d.config();
+        d.access(0); // bank 0, row 0
+        d.access(cfg.row_size); // bank 1, row 1
+        // Returning to bank 0's open row is still a hit.
+        let lat = d.access(0x40);
+        assert_eq!(lat, cfg.cas_cycles + cfg.burst_cycles);
+    }
+
+    #[test]
+    fn default_config_is_ddr3_1600() {
+        assert_eq!(DramConfig::default(), DramConfig::ddr3_1600());
+    }
+}

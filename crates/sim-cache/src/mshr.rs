@@ -1,0 +1,176 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! When several cores share an I-cache, two cores frequently request the same
+//! line within a few cycles of each other (they run the same parallel loop).
+//! The MSHR file merges those requests: the second requester piggybacks on
+//! the in-flight fill instead of issuing another L2 access.  This is one of
+//! the two mechanisms behind the paper's "mutual prefetching" observation
+//! (the other being that the first core's completed fill turns the second
+//! core's would-be cold miss into a hit).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a requester (core index within the sharing group).
+pub type RequesterId = usize;
+
+/// Result of allocating a request into the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAllocation {
+    /// No outstanding miss for this line existed; a new entry was created
+    /// and the caller must issue the fill request to the next level.
+    NewEntry,
+    /// The line already has an in-flight fill; the requester was added to
+    /// the existing entry and must *not* issue another fill.
+    Merged,
+    /// The MSHR file is full; the request must be retried later.
+    Full,
+}
+
+/// Statistics of the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MshrStats {
+    /// Fills issued to the next level (one per `NewEntry`).
+    pub fills_issued: u64,
+    /// Requests merged into an existing entry.
+    pub merged_requests: u64,
+    /// Allocations rejected because the file was full.
+    pub full_stalls: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    waiters: Vec<RequesterId>,
+}
+
+/// A file of miss-status holding registers keyed by line address.
+#[derive(Debug)]
+pub struct Mshr {
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+    stats: MshrStats,
+}
+
+impl Mshr {
+    /// Creates an MSHR file with room for `capacity` distinct outstanding
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        Mshr {
+            capacity,
+            entries: HashMap::new(),
+            stats: MshrStats::default(),
+        }
+    }
+
+    /// Number of outstanding lines.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if there is an in-flight fill for `line_addr`.
+    pub fn is_pending(&self, line_addr: u64) -> bool {
+        self.entries.contains_key(&line_addr)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MshrStats {
+        &self.stats
+    }
+
+    /// Registers a miss for `line_addr` on behalf of `requester`.
+    pub fn allocate(&mut self, line_addr: u64, requester: RequesterId) -> MshrAllocation {
+        if let Some(entry) = self.entries.get_mut(&line_addr) {
+            entry.waiters.push(requester);
+            self.stats.merged_requests += 1;
+            return MshrAllocation::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stats.full_stalls += 1;
+            return MshrAllocation::Full;
+        }
+        self.entries.insert(
+            line_addr,
+            Entry {
+                waiters: vec![requester],
+            },
+        );
+        self.stats.fills_issued += 1;
+        MshrAllocation::NewEntry
+    }
+
+    /// Completes the fill for `line_addr` and returns every requester that
+    /// was waiting on it (in allocation order).
+    ///
+    /// Returns an empty vector if no entry existed (e.g. the fill was for a
+    /// prefetch that was cancelled).
+    pub fn complete(&mut self, line_addr: u64) -> Vec<RequesterId> {
+        self.entries
+            .remove(&line_addr)
+            .map(|e| e.waiters)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_allocation_creates_entry_second_merges() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.allocate(0x1000, 0), MshrAllocation::NewEntry);
+        assert_eq!(m.allocate(0x1000, 1), MshrAllocation::Merged);
+        assert_eq!(m.allocate(0x1000, 2), MshrAllocation::Merged);
+        assert!(m.is_pending(0x1000));
+        assert_eq!(m.outstanding(), 1);
+        assert_eq!(m.stats().fills_issued, 1);
+        assert_eq!(m.stats().merged_requests, 2);
+    }
+
+    #[test]
+    fn complete_returns_all_waiters_in_order() {
+        let mut m = Mshr::new(4);
+        m.allocate(0x1000, 3);
+        m.allocate(0x1000, 5);
+        let waiters = m.complete(0x1000);
+        assert_eq!(waiters, vec![3, 5]);
+        assert!(!m.is_pending(0x1000));
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    fn full_file_rejects_new_lines_but_still_merges() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.allocate(0x1000, 0), MshrAllocation::NewEntry);
+        assert_eq!(m.allocate(0x2000, 0), MshrAllocation::NewEntry);
+        assert_eq!(m.allocate(0x3000, 0), MshrAllocation::Full);
+        assert_eq!(m.allocate(0x1000, 1), MshrAllocation::Merged);
+        assert_eq!(m.stats().full_stalls, 1);
+    }
+
+    #[test]
+    fn complete_unknown_line_returns_empty() {
+        let mut m = Mshr::new(1);
+        assert!(m.complete(0xdead).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Mshr::new(0);
+    }
+
+    #[test]
+    fn capacity_frees_after_completion() {
+        let mut m = Mshr::new(1);
+        assert_eq!(m.allocate(0x1000, 0), MshrAllocation::NewEntry);
+        assert_eq!(m.allocate(0x2000, 0), MshrAllocation::Full);
+        m.complete(0x1000);
+        assert_eq!(m.allocate(0x2000, 0), MshrAllocation::NewEntry);
+    }
+}

@@ -1,0 +1,309 @@
+//! Replacement policies for set-associative caches.
+//!
+//! The paper's I-cache uses LRU (Table I); [`FifoPolicy`] and
+//! [`PseudoLruPolicy`] are provided for the ablation benchmarks that check
+//! how sensitive the shared-I-cache result is to the replacement policy.
+
+use std::fmt::Debug;
+
+/// A replacement policy for one cache set of a fixed associativity.
+///
+/// The policy only tracks metadata; the cache itself stores tags.  Ways are
+/// identified by their index `0..associativity`.
+pub trait ReplacementPolicy: Debug + Send + Sync {
+    /// Called when `way` is accessed (hit) or filled (miss completion).
+    fn touch(&mut self, way: u32);
+
+    /// Returns the way to evict next.  Must not be called on an empty set
+    /// (the cache fills invalid ways first).
+    fn victim(&self) -> u32;
+
+    /// Resets the policy state (all ways become equally old).
+    fn reset(&mut self);
+
+    /// Creates a boxed clone of this policy with the same associativity but
+    /// fresh state, used when constructing the per-set policy array.
+    fn clone_fresh(&self) -> Box<dyn ReplacementPolicy>;
+}
+
+/// True least-recently-used replacement.
+#[derive(Debug, Clone)]
+pub struct LruPolicy {
+    /// `stack[0]` is the most recently used way; the last entry is the LRU.
+    stack: Vec<u32>,
+}
+
+impl LruPolicy {
+    /// Creates an LRU policy for a set with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(ways: u32) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        LruPolicy {
+            stack: (0..ways).collect(),
+        }
+    }
+}
+
+impl ReplacementPolicy for LruPolicy {
+    fn touch(&mut self, way: u32) {
+        let pos = self
+            .stack
+            .iter()
+            .position(|&w| w == way)
+            .expect("touched way outside the set");
+        let w = self.stack.remove(pos);
+        self.stack.insert(0, w);
+    }
+
+    fn victim(&self) -> u32 {
+        *self.stack.last().expect("LRU stack is never empty")
+    }
+
+    fn reset(&mut self) {
+        let ways = self.stack.len() as u32;
+        self.stack = (0..ways).collect();
+    }
+
+    fn clone_fresh(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(LruPolicy::new(self.stack.len() as u32))
+    }
+}
+
+/// First-in first-out replacement (insertion order, ignores hits).
+#[derive(Debug, Clone)]
+pub struct FifoPolicy {
+    order: Vec<u32>,
+    filled: Vec<bool>,
+}
+
+impl FifoPolicy {
+    /// Creates a FIFO policy for a set with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(ways: u32) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        FifoPolicy {
+            order: (0..ways).collect(),
+            filled: vec![false; ways as usize],
+        }
+    }
+}
+
+impl ReplacementPolicy for FifoPolicy {
+    fn touch(&mut self, way: u32) {
+        // Only a fill (first touch of the way) changes FIFO order.
+        if !self.filled[way as usize] {
+            self.filled[way as usize] = true;
+            let pos = self
+                .order
+                .iter()
+                .position(|&w| w == way)
+                .expect("touched way outside the set");
+            let w = self.order.remove(pos);
+            self.order.insert(0, w);
+        }
+    }
+
+    fn victim(&self) -> u32 {
+        let victim = *self.order.last().expect("FIFO order is never empty");
+        victim
+    }
+
+    fn reset(&mut self) {
+        let ways = self.order.len() as u32;
+        self.order = (0..ways).collect();
+        self.filled = vec![false; ways as usize];
+    }
+
+    fn clone_fresh(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(FifoPolicy::new(self.order.len() as u32))
+    }
+}
+
+/// Tree-based pseudo-LRU, the common hardware approximation of LRU.
+///
+/// Requires a power-of-two associativity.
+#[derive(Debug, Clone)]
+pub struct PseudoLruPolicy {
+    ways: u32,
+    /// Tree bits: node i has children 2i+1 and 2i+2; a bit of 0 means "the
+    /// colder half is the left subtree".
+    bits: Vec<bool>,
+}
+
+impl PseudoLruPolicy {
+    /// Creates a tree PLRU policy for a set with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or not a power of two.
+    pub fn new(ways: u32) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        assert!(
+            ways.is_power_of_two(),
+            "tree pseudo-LRU requires a power-of-two associativity, got {ways}"
+        );
+        PseudoLruPolicy {
+            ways,
+            bits: vec![false; (ways as usize).saturating_sub(1)],
+        }
+    }
+}
+
+impl ReplacementPolicy for PseudoLruPolicy {
+    fn touch(&mut self, way: u32) {
+        assert!(way < self.ways, "touched way outside the set");
+        if self.ways == 1 {
+            return;
+        }
+        // Walk from the root towards the accessed leaf, pointing each node
+        // away from the path taken (so the victim search goes elsewhere).
+        let mut node = 0usize;
+        let mut lo = 0u32;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let go_right = way >= mid;
+            // Bit true means "victim search goes left"; since we went to one
+            // side, point the victim search at the other side.
+            self.bits[node] = go_right;
+            node = 2 * node + if go_right { 2 } else { 1 };
+            if go_right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+
+    fn victim(&self) -> u32 {
+        if self.ways == 1 {
+            return 0;
+        }
+        let mut node = 0usize;
+        let mut lo = 0u32;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let go_left = self.bits[node];
+            node = 2 * node + if go_left { 1 } else { 2 };
+            if go_left {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        lo
+    }
+
+    fn reset(&mut self) {
+        for b in &mut self.bits {
+            *b = false;
+        }
+    }
+
+    fn clone_fresh(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(PseudoLruPolicy::new(self.ways))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut p = LruPolicy::new(4);
+        // Touch ways 0,1,2,3 in order: way 0 is now LRU.
+        for w in 0..4 {
+            p.touch(w);
+        }
+        assert_eq!(p.victim(), 0);
+        p.touch(0);
+        assert_eq!(p.victim(), 1);
+    }
+
+    #[test]
+    fn lru_reset_restores_initial_order() {
+        let mut p = LruPolicy::new(2);
+        p.touch(1);
+        p.reset();
+        assert_eq!(p.victim(), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut p = FifoPolicy::new(2);
+        p.touch(0); // fill way 0
+        p.touch(1); // fill way 1
+        p.touch(0); // hit on way 0: FIFO order unchanged
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    fn fifo_reset() {
+        let mut p = FifoPolicy::new(4);
+        p.touch(2);
+        p.reset();
+        // After reset nothing is filled; initial order has way 3 as victim.
+        assert_eq!(p.victim(), 3);
+    }
+
+    #[test]
+    fn plru_victim_is_not_most_recent() {
+        let mut p = PseudoLruPolicy::new(8);
+        for w in 0..8 {
+            p.touch(w);
+            assert_ne!(p.victim(), w, "PLRU must never pick the just-touched way");
+        }
+    }
+
+    #[test]
+    fn plru_single_way() {
+        let mut p = PseudoLruPolicy::new(1);
+        p.touch(0);
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plru_requires_power_of_two() {
+        PseudoLruPolicy::new(6);
+    }
+
+    #[test]
+    fn clone_fresh_produces_reset_state() {
+        let mut p = LruPolicy::new(4);
+        p.touch(3);
+        assert_eq!(p.victim(), 2, "after touching 3, way 2 is at the LRU position");
+        let fresh = p.clone_fresh();
+        assert_eq!(
+            fresh.victim(),
+            3,
+            "fresh clone starts from the initial order (last way is LRU)"
+        );
+    }
+
+    #[test]
+    fn lru_full_access_sequence() {
+        // Classic check: with 2 ways and accesses a,b,a,c the victim after
+        // filling is b (a was refreshed).
+        let mut p = LruPolicy::new(2);
+        p.touch(0); // a
+        p.touch(1); // b
+        p.touch(0); // a again
+        assert_eq!(p.victim(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the set")]
+    fn lru_touch_out_of_range_panics() {
+        let mut p = LruPolicy::new(2);
+        p.touch(5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Core configuration.
+
+use serde::{Deserialize, Serialize};
+use sim_frontend::FrontEndConfig;
+
+/// Configuration of one simulated core (front-end plus back-end commit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Front-end parameters (line buffers, FTQ, predictor, widths).
+    pub frontend: FrontEndConfig,
+    /// Commit rate used until the trace's first `SetIpc` record, in
+    /// instructions per cycle.
+    pub default_ipc: f64,
+    /// Maximum instructions the back-end can commit in one cycle regardless
+    /// of the commit rate (the structural commit width).
+    pub commit_width: u32,
+}
+
+impl CoreConfig {
+    /// A lean worker core: Cortex-A9-like front-end and a commit width of 2.
+    pub fn worker() -> Self {
+        CoreConfig {
+            frontend: FrontEndConfig::worker(),
+            default_ipc: 0.8,
+            commit_width: 2,
+        }
+    }
+
+    /// The big master core: i7-like front-end and a commit width of 4.
+    pub fn master() -> Self {
+        CoreConfig {
+            frontend: FrontEndConfig::master(),
+            default_ipc: 1.6,
+            commit_width: 4,
+        }
+    }
+
+    /// Returns a copy with a different number of line buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_line_buffers(mut self, n: usize) -> Self {
+        self.frontend = self.frontend.with_line_buffers(n);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front-end is invalid, the default IPC is not positive,
+    /// or the commit width is zero.
+    pub fn validate(&self) {
+        self.frontend.validate();
+        assert!(
+            self.default_ipc.is_finite() && self.default_ipc > 0.0,
+            "default IPC must be positive"
+        );
+        assert!(self.commit_width > 0, "commit width must be positive");
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::worker()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_configs_validate() {
+        CoreConfig::worker().validate();
+        CoreConfig::master().validate();
+    }
+
+    #[test]
+    fn master_is_beefier() {
+        assert!(CoreConfig::master().default_ipc > CoreConfig::worker().default_ipc);
+        assert!(CoreConfig::master().commit_width > CoreConfig::worker().commit_width);
+    }
+
+    #[test]
+    fn with_line_buffers_propagates() {
+        assert_eq!(CoreConfig::worker().with_line_buffers(8).frontend.line_buffers, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit width")]
+    fn zero_commit_width_rejected() {
+        let mut c = CoreConfig::worker();
+        c.commit_width = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn default_is_worker() {
+        assert_eq!(CoreConfig::default(), CoreConfig::worker());
+    }
+}

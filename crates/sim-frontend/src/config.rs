@@ -1,0 +1,132 @@
+//! Front-end configuration.
+
+use crate::predictor::PredictorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-core front-end parameters.
+///
+/// The two named constructors provide the master (big, i7-like) and worker
+/// (lean, Cortex-A9-like) front-ends used throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontEndConfig {
+    /// Number of line buffers (Table I: 2, 4 or 8; 4 is the baseline).
+    pub line_buffers: usize,
+    /// Cache-line / line-buffer width in bytes (Table I: 64 B).
+    pub line_size: u64,
+    /// Maximum instructions moved from a line buffer into the instruction
+    /// queue per cycle (fetch/decode width).
+    pub fetch_width: u32,
+    /// Instruction-queue capacity in instructions.
+    pub instr_queue_capacity: usize,
+    /// Fetch-target-queue capacity in fetch blocks.
+    pub ftq_capacity: usize,
+    /// Maximum fetch-block length in bytes produced by the fetch predictor.
+    pub max_fetch_block_bytes: u32,
+    /// Cycles of front-end resteer penalty on a branch misprediction.
+    pub mispredict_penalty: u64,
+    /// Branch predictor configuration.
+    pub predictor: PredictorConfig,
+}
+
+impl FrontEndConfig {
+    /// Front-end of a lean worker core (Cortex-A9-like): modest width and a
+    /// short pipeline.
+    pub fn worker() -> Self {
+        FrontEndConfig {
+            line_buffers: 4,
+            line_size: 64,
+            fetch_width: 2,
+            instr_queue_capacity: 16,
+            ftq_capacity: 8,
+            max_fetch_block_bytes: 256,
+            mispredict_penalty: 8,
+            predictor: PredictorConfig::paper(),
+        }
+    }
+
+    /// Front-end of the big master core (i7-like): wider fetch, deeper
+    /// queues, longer misprediction penalty.
+    pub fn master() -> Self {
+        FrontEndConfig {
+            line_buffers: 4,
+            line_size: 64,
+            fetch_width: 4,
+            instr_queue_capacity: 48,
+            ftq_capacity: 12,
+            max_fetch_block_bytes: 256,
+            mispredict_penalty: 14,
+            predictor: PredictorConfig::paper(),
+        }
+    }
+
+    /// Returns a copy with a different number of line buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_line_buffers(mut self, n: usize) -> Self {
+        assert!(n > 0, "a front-end needs at least one line buffer");
+        self.line_buffers = n;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is zero or the line size is not a power of
+    /// two.
+    pub fn validate(&self) {
+        assert!(self.line_buffers > 0, "need at least one line buffer");
+        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(self.fetch_width > 0, "fetch width must be positive");
+        assert!(self.instr_queue_capacity > 0, "instruction queue must have capacity");
+        assert!(self.ftq_capacity > 0, "FTQ must have capacity");
+        assert!(self.max_fetch_block_bytes > 0, "fetch blocks must be non-empty");
+    }
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        FrontEndConfig::worker()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_configs_validate() {
+        FrontEndConfig::worker().validate();
+        FrontEndConfig::master().validate();
+    }
+
+    #[test]
+    fn master_is_wider_than_worker() {
+        assert!(FrontEndConfig::master().fetch_width > FrontEndConfig::worker().fetch_width);
+        assert!(
+            FrontEndConfig::master().mispredict_penalty
+                > FrontEndConfig::worker().mispredict_penalty
+        );
+    }
+
+    #[test]
+    fn with_line_buffers_changes_only_that_field() {
+        let base = FrontEndConfig::worker();
+        let more = base.with_line_buffers(8);
+        assert_eq!(more.line_buffers, 8);
+        assert_eq!(more.fetch_width, base.fetch_width);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line buffer")]
+    fn zero_line_buffers_rejected() {
+        FrontEndConfig::worker().with_line_buffers(0);
+    }
+
+    #[test]
+    fn default_is_worker() {
+        assert_eq!(FrontEndConfig::default(), FrontEndConfig::worker());
+    }
+}

@@ -1,0 +1,43 @@
+//! Decoupled core front-end components.
+//!
+//! The paper's core model (Section IV-A, Figure 5) decouples the I-cache
+//! from the branch predictor with a *fetch target queue* (FTQ).  The fetch
+//! predictor produces *fetch blocks* — runs of consecutive instructions
+//! ending at a taken branch — whose starting addresses are queued in the FTQ.
+//! The I-cache is then accessed with the address at the head of the FTQ,
+//! unless the needed line already sits in one of a handful of *line buffers*
+//! which double as prefetch/loop buffers and as outstanding-request slots.
+//!
+//! This crate provides those pieces:
+//!
+//! * [`FetchPredictor`] — a 16 KB gshare branch predictor augmented with a
+//!   256-entry loop predictor and a branch target buffer (Table I).
+//! * [`Ftq`] — the fetch target queue.
+//! * [`LineBufferFile`] — the line buffers (2, 4 or 8 in the evaluation),
+//!   with the statistics behind the paper's I-cache *access ratio* metric
+//!   (Fig. 9).
+//! * [`FrontEndConfig`] — the per-core configuration used by `sim-core`.
+
+pub mod config;
+pub mod ftq;
+pub mod line_buffer;
+pub mod predictor;
+
+pub use config::FrontEndConfig;
+pub use ftq::{Ftq, FtqEntry};
+pub use line_buffer::{LineBufferFile, LineBufferStats, LineLookup};
+pub use predictor::{BranchPrediction, FetchPredictor, PredictorConfig, PredictorStats};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FetchPredictor>();
+        assert_send_sync::<Ftq>();
+        assert_send_sync::<LineBufferFile>();
+        assert_send_sync::<FrontEndConfig>();
+    }
+}

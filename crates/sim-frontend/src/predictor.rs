@@ -1,0 +1,427 @@
+//! Branch prediction: gshare + loop predictor + BTB.
+//!
+//! Table I specifies a 16 KB gshare fetch predictor augmented with a
+//! 256-entry loop predictor.  The gshare provides direction prediction from
+//! a global-history-indexed table of 2-bit counters; the loop predictor
+//! captures branches with a stable trip count (the dominant pattern in HPC
+//! inner loops) and overrides gshare when it is confident; the branch target
+//! buffer (BTB) provides the target of taken branches — a BTB miss on a
+//! taken branch is counted as a misprediction because the front-end must be
+//! resteered either way.
+
+use serde::{Deserialize, Serialize};
+
+/// Branch predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Number of 2-bit counters in the gshare table (16 KB = 65536
+    /// counters).
+    pub gshare_entries: usize,
+    /// Global-history length in bits used to index the gshare table.
+    pub history_bits: u32,
+    /// Number of loop-predictor entries (Table I: 256).
+    pub loop_entries: usize,
+    /// Trip-count confidence threshold before the loop predictor overrides
+    /// gshare.
+    pub loop_confidence: u32,
+    /// Number of BTB entries.
+    pub btb_entries: usize,
+}
+
+impl PredictorConfig {
+    /// The paper's configuration: 16 KB gshare + 256-entry loop predictor,
+    /// with a 4K-entry BTB.
+    pub fn paper() -> Self {
+        PredictorConfig {
+            gshare_entries: 65_536,
+            history_bits: 16,
+            loop_entries: 256,
+            loop_confidence: 2,
+            btb_entries: 4096,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table sizes are zero or not powers of two.
+    pub fn validate(&self) {
+        assert!(
+            self.gshare_entries.is_power_of_two(),
+            "gshare table size must be a power of two"
+        );
+        assert!(
+            self.btb_entries.is_power_of_two(),
+            "BTB size must be a power of two"
+        );
+        assert!(self.loop_entries > 0, "loop predictor needs entries");
+        assert!(self.history_bits > 0 && self.history_bits <= 32);
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig::paper()
+    }
+}
+
+/// Outcome of predicting one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchPrediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Predicted target, if the BTB held one.
+    pub target: Option<u64>,
+}
+
+/// Prediction statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// Branches predicted.
+    pub branches: u64,
+    /// Direction mispredictions.
+    pub direction_mispredicts: u64,
+    /// Taken branches whose target was absent from the BTB (or wrong, for
+    /// indirect branches).
+    pub target_mispredicts: u64,
+    /// Predictions where the loop predictor overrode gshare.
+    pub loop_overrides: u64,
+}
+
+impl PredictorStats {
+    /// Total mispredictions (direction + target).
+    pub fn mispredicts(&self) -> u64 {
+        self.direction_mispredicts + self.target_mispredicts
+    }
+
+    /// Branch mispredictions per kilo-instruction.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.mispredicts() as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LoopEntry {
+    tag: u64,
+    /// Trip count observed on the last completed loop execution.
+    trip_count: u32,
+    /// Taken streak currently being observed.
+    current_count: u32,
+    /// Number of consecutive times `trip_count` was confirmed.
+    confidence: u32,
+    valid: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    tag: u64,
+    target: u64,
+    valid: bool,
+}
+
+/// The combined gshare + loop + BTB fetch predictor.
+#[derive(Debug)]
+pub struct FetchPredictor {
+    config: PredictorConfig,
+    counters: Vec<u8>,
+    history: u64,
+    loops: Vec<LoopEntry>,
+    btb: Vec<BtbEntry>,
+    stats: PredictorStats,
+}
+
+impl FetchPredictor {
+    /// Creates a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`PredictorConfig::validate`]).
+    pub fn new(config: PredictorConfig) -> Self {
+        config.validate();
+        FetchPredictor {
+            config,
+            counters: vec![1; config.gshare_entries], // weakly not-taken
+            history: 0,
+            loops: vec![LoopEntry::default(); config.loop_entries],
+            btb: vec![BtbEntry::default(); config.btb_entries],
+            stats: PredictorStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+
+    fn gshare_index(&self, pc: u64) -> usize {
+        let mask = (self.config.gshare_entries - 1) as u64;
+        (((pc >> 2) ^ self.history) & mask) as usize
+    }
+
+    fn loop_index(&self, pc: u64) -> usize {
+        (pc >> 2) as usize % self.config.loop_entries
+    }
+
+    fn btb_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.config.btb_entries - 1)
+    }
+
+    /// Predicts the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> BranchPrediction {
+        let counter = self.counters[self.gshare_index(pc)];
+        let mut taken = counter >= 2;
+
+        // Loop-predictor override: if confident and the current streak has
+        // reached the learned trip count, predict the exit (not taken).
+        let le = &self.loops[self.loop_index(pc)];
+        if le.valid && le.tag == pc && le.confidence >= self.config.loop_confidence {
+            taken = le.current_count < le.trip_count;
+        }
+
+        let be = &self.btb[self.btb_index(pc)];
+        let target = if be.valid && be.tag == pc {
+            Some(be.target)
+        } else {
+            None
+        };
+        BranchPrediction { taken, target }
+    }
+
+    /// Predicts the branch at `pc`, compares with the actual outcome, trains
+    /// the tables, and returns `true` when the front-end must be resteered
+    /// (direction mispredicted, or the branch was taken and the target was
+    /// unknown or wrong).
+    pub fn predict_and_train(&mut self, pc: u64, taken: bool, target: u64, indirect: bool) -> bool {
+        let prediction = self.predict(pc);
+        let le = &self.loops[self.loop_index(pc)];
+        if le.valid
+            && le.tag == pc
+            && le.confidence >= self.config.loop_confidence
+            && prediction.taken != (self.counters[self.gshare_index(pc)] >= 2)
+        {
+            self.stats.loop_overrides += 1;
+        }
+        self.stats.branches += 1;
+
+        let direction_wrong = prediction.taken != taken;
+        if direction_wrong {
+            self.stats.direction_mispredicts += 1;
+        }
+        // Target check only matters for a (correctly or incorrectly) taken
+        // branch that the front-end follows: a missing or stale BTB entry on
+        // a taken branch forces a resteer.  Indirect branches additionally
+        // mispredict whenever the stored target differs.
+        let mut target_wrong = false;
+        if taken && !direction_wrong {
+            match prediction.target {
+                None => target_wrong = true,
+                Some(t) => {
+                    if indirect && t != target {
+                        target_wrong = true;
+                    }
+                }
+            }
+            if target_wrong {
+                self.stats.target_mispredicts += 1;
+            }
+        }
+
+        self.train(pc, taken, target);
+        direction_wrong || target_wrong
+    }
+
+    fn train(&mut self, pc: u64, taken: bool, target: u64) {
+        // gshare 2-bit counter.
+        let idx = self.gshare_index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+
+        // Global history.
+        self.history = ((self.history << 1) | u64::from(taken))
+            & ((1u64 << self.config.history_bits) - 1);
+
+        // Loop predictor.
+        let lidx = self.loop_index(pc);
+        let le = &mut self.loops[lidx];
+        if !le.valid || le.tag != pc {
+            *le = LoopEntry {
+                tag: pc,
+                trip_count: 0,
+                current_count: 0,
+                confidence: 0,
+                valid: true,
+            };
+        }
+        if taken {
+            le.current_count = le.current_count.saturating_add(1);
+        } else {
+            // Loop exit: check whether the trip count repeated.
+            if le.trip_count == le.current_count && le.trip_count > 0 {
+                le.confidence = le.confidence.saturating_add(1);
+            } else {
+                le.trip_count = le.current_count;
+                le.confidence = 0;
+            }
+            le.current_count = 0;
+        }
+
+        // BTB: record the target of taken branches.
+        if taken {
+            let bidx = self.btb_index(pc);
+            self.btb[bidx] = BtbEntry {
+                tag: pc,
+                target,
+                valid: true,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> FetchPredictor {
+        FetchPredictor::new(PredictorConfig::paper())
+    }
+
+    #[test]
+    fn always_taken_branch_is_learned() {
+        let mut p = predictor();
+        let mut late_mispredicts = 0;
+        for i in 0..100 {
+            let wrong = p.predict_and_train(0x1000, true, 0x900, false);
+            // The first ~16+2 iterations walk the global history to its
+            // steady state; after that the branch must predict perfectly.
+            if i >= 30 && wrong {
+                late_mispredicts += 1;
+            }
+        }
+        assert_eq!(
+            late_mispredicts, 0,
+            "a monotone branch must be perfectly predicted once warmed up"
+        );
+        assert_eq!(p.stats().branches, 100);
+    }
+
+    #[test]
+    fn alternating_history_is_learned_by_gshare() {
+        let mut p = predictor();
+        let mut late_mispredicts = 0;
+        for i in 0..2000u32 {
+            let taken = i % 2 == 0;
+            let wrong = p.predict_and_train(0x2000, taken, 0x1800, false);
+            if i > 200 && wrong {
+                late_mispredicts += 1;
+            }
+        }
+        assert!(
+            late_mispredicts < 20,
+            "gshare should capture an alternating pattern via history, got {late_mispredicts}"
+        );
+    }
+
+    #[test]
+    fn fixed_trip_count_loop_is_captured_by_loop_predictor() {
+        let mut p = predictor();
+        // A loop that iterates exactly 50 times, repeatedly.
+        let mut mispredicts_late = 0;
+        for rep in 0..40 {
+            for i in 0..50u32 {
+                let taken = i < 49; // 49 taken, 1 not-taken exit
+                let wrong = p.predict_and_train(0x3000, taken, 0x2f00, false);
+                if rep >= 10 && wrong {
+                    mispredicts_late += 1;
+                }
+            }
+        }
+        assert_eq!(
+            mispredicts_late, 0,
+            "after warm-up the loop predictor should eliminate exit mispredictions"
+        );
+        assert!(p.stats().loop_overrides > 0, "loop predictor should have overridden gshare");
+    }
+
+    #[test]
+    fn btb_miss_on_first_taken_branch_counts_as_target_mispredict() {
+        let mut p = predictor();
+        // The cold branch mispredicts (direction and/or target unknown).
+        p.predict_and_train(0x4000, true, 0x3000, false);
+        assert!(p.stats().mispredicts() >= 1, "cold branch mispredicts");
+        // After warm-up both direction and target are known.
+        for _ in 0..40 {
+            p.predict_and_train(0x4000, true, 0x3000, false);
+        }
+        let wrong = p.predict_and_train(0x4000, true, 0x3000, false);
+        assert!(!wrong, "warm always-taken branch with a stable target must not resteer");
+    }
+
+    #[test]
+    fn indirect_branch_with_changing_target_mispredicts() {
+        let mut p = predictor();
+        // Warm up direction and global history with a stable target.
+        for _ in 0..40 {
+            p.predict_and_train(0x5000, true, 0xa000, true);
+        }
+        let before = p.stats().target_mispredicts;
+        // Now the indirect branch jumps somewhere else: the stale BTB target
+        // is wrong, so the front-end must resteer.
+        let wrong = p.predict_and_train(0x5000, true, 0xb000, true);
+        assert!(wrong);
+        assert_eq!(p.stats().target_mispredicts, before + 1);
+    }
+
+    #[test]
+    fn mpki_is_relative_to_instruction_count() {
+        let mut p = predictor();
+        for _ in 0..10 {
+            p.predict_and_train(0x6000, true, 0x100, false);
+        }
+        let m = p.stats().mpki(10_000);
+        assert!(m <= 1.0, "at most a handful of mispredicts in 10k instructions");
+        assert_eq!(PredictorStats::default().mpki(0), 0.0);
+    }
+
+    #[test]
+    fn random_branches_mispredict_often() {
+        // A deterministic pseudo-random outcome stream: gshare cannot learn
+        // it, so the misprediction rate should be substantial.
+        let mut p = predictor();
+        let mut x: u64 = 0x12345678;
+        let mut wrong = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let taken = (x >> 33) & 1 == 1;
+            if p.predict_and_train(0x7000, taken, 0x200, false) {
+                wrong += 1;
+            }
+        }
+        let rate = wrong as f64 / n as f64;
+        assert!(rate > 0.25, "random outcomes should mispredict frequently, rate={rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_config_is_rejected() {
+        FetchPredictor::new(PredictorConfig {
+            gshare_entries: 1000,
+            ..PredictorConfig::paper()
+        });
+    }
+}
