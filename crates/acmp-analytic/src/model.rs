@@ -107,7 +107,12 @@ mod tests {
     fn fully_parallel_code_favours_many_small_cores() {
         let m = HillMartyModel::default();
         let small = m.speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, 0.0);
-        let big = m.speedup(CmpOrganisation::Symmetric { bce_per_core: FIG1_BIG }, 0.0);
+        let big = m.speedup(
+            CmpOrganisation::Symmetric {
+                bce_per_core: FIG1_BIG,
+            },
+            0.0,
+        );
         assert!((small - 16.0).abs() < 1e-9);
         assert!((big - 8.0).abs() < 1e-9);
         assert!(small > big);
@@ -117,7 +122,12 @@ mod tests {
     fn highly_serial_code_favours_few_big_cores() {
         let m = HillMartyModel::default();
         let small = m.speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, 0.3);
-        let big = m.speedup(CmpOrganisation::Symmetric { bce_per_core: FIG1_BIG }, 0.3);
+        let big = m.speedup(
+            CmpOrganisation::Symmetric {
+                bce_per_core: FIG1_BIG,
+            },
+            0.3,
+        );
         assert!(big > small);
     }
 
@@ -127,9 +137,19 @@ mod tests {
         // outperforms both symmetric CMP designs".
         let m = HillMartyModel::default();
         for serial in [0.02, 0.05, 0.10, 0.20, 0.30] {
-            let acmp = m.speedup(CmpOrganisation::Asymmetric { big_core_bce: FIG1_BIG }, serial);
+            let acmp = m.speedup(
+                CmpOrganisation::Asymmetric {
+                    big_core_bce: FIG1_BIG,
+                },
+                serial,
+            );
             let sym_small = m.speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, serial);
-            let sym_big = m.speedup(CmpOrganisation::Symmetric { bce_per_core: FIG1_BIG }, serial);
+            let sym_big = m.speedup(
+                CmpOrganisation::Symmetric {
+                    bce_per_core: FIG1_BIG,
+                },
+                serial,
+            );
             assert!(
                 acmp > sym_small && acmp > sym_big,
                 "at {serial}: acmp={acmp:.2} small={sym_small:.2} big={sym_big:.2}"
@@ -140,7 +160,12 @@ mod tests {
     #[test]
     fn at_zero_serial_fraction_the_small_symmetric_design_wins() {
         let m = HillMartyModel::default();
-        let acmp = m.speedup(CmpOrganisation::Asymmetric { big_core_bce: FIG1_BIG }, 0.0);
+        let acmp = m.speedup(
+            CmpOrganisation::Asymmetric {
+                big_core_bce: FIG1_BIG,
+            },
+            0.0,
+        );
         let sym_small = m.speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, 0.0);
         assert!(sym_small > acmp);
     }
@@ -151,7 +176,9 @@ mod tests {
         let mut last = f64::INFINITY;
         for i in 0..=10 {
             let s = m.speedup(
-                CmpOrganisation::Asymmetric { big_core_bce: FIG1_BIG },
+                CmpOrganisation::Asymmetric {
+                    big_core_bce: FIG1_BIG,
+                },
                 i as f64 * 0.03,
             );
             assert!(s < last);

@@ -28,9 +28,12 @@ pub fn figure1_series(points: usize) -> Vec<Figure1Point> {
             let serial = serial_percent / 100.0;
             Figure1Point {
                 serial_percent,
-                symmetric_big: model.speedup(CmpOrganisation::Symmetric { bce_per_core: big }, serial),
-                symmetric_small: model.speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, serial),
-                asymmetric: model.speedup(CmpOrganisation::Asymmetric { big_core_bce: big }, serial),
+                symmetric_big: model
+                    .speedup(CmpOrganisation::Symmetric { bce_per_core: big }, serial),
+                symmetric_small: model
+                    .speedup(CmpOrganisation::Symmetric { bce_per_core: 1.0 }, serial),
+                asymmetric: model
+                    .speedup(CmpOrganisation::Asymmetric { big_core_bce: big }, serial),
             }
         })
         .collect()

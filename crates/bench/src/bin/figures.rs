@@ -18,7 +18,10 @@ use shared_icache::ExperimentContext;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: figures <id> [<id> ...]   (ids: {})", EXPERIMENT_IDS.join(" "));
+        eprintln!(
+            "usage: figures <id> [<id> ...]   (ids: {})",
+            EXPERIMENT_IDS.join(" ")
+        );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     let scale = Scale::from_env();
@@ -34,7 +37,10 @@ fn main() {
 
     for id in &requested {
         if !EXPERIMENT_IDS.contains(&id.as_str()) {
-            eprintln!("unknown experiment id `{id}` (valid: {})", EXPERIMENT_IDS.join(" "));
+            eprintln!(
+                "unknown experiment id `{id}` (valid: {})",
+                EXPERIMENT_IDS.join(" ")
+            );
             std::process::exit(2);
         }
     }
@@ -48,7 +54,12 @@ fn main() {
     }
 }
 
-fn run_one(id: &str, ctx: &ExperimentContext, benchmarks: &[hpc_workloads::Benchmark], scale: Scale) {
+fn run_one(
+    id: &str,
+    ctx: &ExperimentContext,
+    benchmarks: &[hpc_workloads::Benchmark],
+    scale: Scale,
+) {
     let start = std::time::Instant::now();
     match id {
         "fig01" => println!("{}", figures::fig01::compute(31)),

@@ -43,7 +43,9 @@ impl DesignPoint {
             sharing: if cpc <= 1 {
                 SharingMode::Private
             } else {
-                SharingMode::WorkerShared { cores_per_cache: cpc }
+                SharingMode::WorkerShared {
+                    cores_per_cache: cpc,
+                }
             },
             icache_bytes: 32 * 1024,
             line_buffers: 4,
@@ -213,13 +215,19 @@ mod tests {
         let cfg = DesignPoint::proposed().acmp_config(8);
         assert_eq!(cfg.worker_icache.size_bytes, 16 * 1024);
         assert_eq!(cfg.bus_width, BusWidth::Double);
-        assert_eq!(cfg.sharing, SharingMode::WorkerShared { cores_per_cache: 8 });
+        assert_eq!(
+            cfg.sharing,
+            SharingMode::WorkerShared { cores_per_cache: 8 }
+        );
         cfg.validate();
 
         // A cpc larger than the worker count is clamped (useful for small
         // test machines).
         let cfg = DesignPoint::naive_shared(8).acmp_config(2);
-        assert_eq!(cfg.sharing, SharingMode::WorkerShared { cores_per_cache: 2 });
+        assert_eq!(
+            cfg.sharing,
+            SharingMode::WorkerShared { cores_per_cache: 2 }
+        );
         cfg.validate();
     }
 

@@ -51,9 +51,8 @@ impl ExperimentContext {
         if let Some(t) = self.traces.lock().get(&benchmark) {
             return Arc::clone(t);
         }
-        let generated = Arc::new(
-            TraceGenerator::new(benchmark.profile(), self.generator).generate(),
-        );
+        let generated =
+            Arc::new(TraceGenerator::new(benchmark.profile(), self.generator).generate());
         let mut guard = self.traces.lock();
         Arc::clone(guard.entry(benchmark).or_insert(generated))
     }

@@ -52,7 +52,13 @@ impl Figure2 {
 
     /// Arithmetic mean of the parallel basic-block lengths.
     pub fn mean_parallel(&self) -> f64 {
-        arithmetic_mean(&self.rows.iter().map(|r| r.parallel_bytes).collect::<Vec<_>>())
+        arithmetic_mean(
+            &self
+                .rows
+                .iter()
+                .map(|r| r.parallel_bytes)
+                .collect::<Vec<_>>(),
+        )
     }
 }
 

@@ -116,7 +116,11 @@ mod tests {
                 r.benchmark
             );
         }
-        let coevp = fig.rows.iter().find(|r| r.benchmark == Benchmark::CoEvp).unwrap();
+        let coevp = fig
+            .rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::CoEvp)
+            .unwrap();
         assert!(
             coevp.parallel_mpki > 0.3,
             "CoEVP is the one benchmark with visible parallel MPKI, got {:.2}",

@@ -91,8 +91,17 @@ mod tests {
         for r in &fig.rows {
             assert!(r.baseline_cycles > 0);
             // Small tolerance: sharing can be neutral or mildly beneficial.
-            assert!(r.cpc2 > 0.9 && r.cpc2 < 1.3, "{}: cpc2={}", r.benchmark, r.cpc2);
-            assert!(r.cpc8 >= r.cpc2 - 0.05, "{}: deeper sharing should not be faster", r.benchmark);
+            assert!(
+                r.cpc2 > 0.9 && r.cpc2 < 1.3,
+                "{}: cpc2={}",
+                r.benchmark,
+                r.cpc2
+            );
+            assert!(
+                r.cpc8 >= r.cpc2 - 0.05,
+                "{}: deeper sharing should not be faster",
+                r.benchmark
+            );
         }
         assert!(fig.worst_cpc8_slowdown() < 0.5);
         assert!(fig.to_string().contains("cpc=8"));

@@ -74,8 +74,9 @@ pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure8 {
             let branch_miss = delta(shared_stack.branch_miss, base_stack.branch_miss);
 
             let total = shared.cycles as f64 / base_cycles;
-            let rest = (total - 1.0 - ibus_latency - ibus_congestion - icache_latency - branch_miss)
-                .max(0.0);
+            let rest =
+                (total - 1.0 - ibus_latency - ibus_congestion - icache_latency - branch_miss)
+                    .max(0.0);
             Figure8Row {
                 benchmark: b,
                 baseline_cpi: 1.0,
@@ -134,7 +135,10 @@ mod tests {
         let ctx = tiny_context();
         let fig = compute(&ctx, &[Benchmark::Lu]);
         let row = &fig.rows[0];
-        assert!(row.total() >= 1.0, "the shared design cannot beat its own baseline component");
+        assert!(
+            row.total() >= 1.0,
+            "the shared design cannot beat its own baseline component"
+        );
         assert!(row.baseline_cpi == 1.0);
         assert!(row.ibus_latency >= 0.0 && row.ibus_congestion >= 0.0);
         assert!(fig.to_string().contains("i-bus cong"));

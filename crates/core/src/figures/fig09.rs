@@ -51,7 +51,10 @@ pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure9 {
 
 impl std::fmt::Display for Figure9 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 9: I-cache access ratio [%] vs number of line buffers")?;
+        writeln!(
+            f,
+            "Figure 9: I-cache access ratio [%] vs number of line buffers"
+        )?;
         let mut t = TextTable::new(vec!["benchmark", "2 buffers", "4 buffers", "8 buffers"]);
         for r in &self.rows {
             t.row(vec![
@@ -86,8 +89,16 @@ mod tests {
             assert!(r.lb2_percent <= 100.0 && r.lb8_percent >= 0.0);
         }
         // CG's tiny kernel fits in the buffers; LU's streaming body does not.
-        let cg = fig.rows.iter().find(|r| r.benchmark == Benchmark::Cg).unwrap();
-        let lu = fig.rows.iter().find(|r| r.benchmark == Benchmark::Lu).unwrap();
+        let cg = fig
+            .rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::Cg)
+            .unwrap();
+        let lu = fig
+            .rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::Lu)
+            .unwrap();
         assert!(
             cg.lb4_percent < lu.lb4_percent,
             "short-basic-block benchmarks have lower access ratios (CG {:.1}% vs LU {:.1}%)",

@@ -109,8 +109,15 @@ mod tests {
     fn sharing_reduces_the_mpki_of_the_miss_heavy_benchmark() {
         let ctx = tiny_context();
         let fig = compute(&ctx, &[Benchmark::CoEvp, Benchmark::Cg]);
-        let coevp = fig.rows.iter().find(|r| r.benchmark == Benchmark::CoEvp).unwrap();
-        assert!(coevp.private_mpki > 0.1, "CoEVP has a visible baseline MPKI");
+        let coevp = fig
+            .rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::CoEvp)
+            .unwrap();
+        assert!(
+            coevp.private_mpki > 0.1,
+            "CoEVP has a visible baseline MPKI"
+        );
         assert!(
             coevp.shared_32k_percent < 100.0,
             "sharing must reduce CoEVP's MPKI, got {:.1}%",

@@ -88,7 +88,9 @@ impl Figure12 {
     /// The paper's preferred design point (16 KB, 4 line buffers, double
     /// bus).
     pub fn proposed(&self) -> Option<&Figure12Row> {
-        self.rows.iter().find(|r| r.design == DesignPoint::proposed().name)
+        self.rows
+            .iter()
+            .find(|r| r.design == DesignPoint::proposed().name)
     }
 }
 

@@ -47,7 +47,10 @@ pub fn compute() -> Table1 {
                 cfg.worker_core.commit_width
             ),
         ),
-        row("cores-per-cache (cpc)", "1, 2, 4, 8 (1 = private I-caches)".to_string()),
+        row(
+            "cores-per-cache (cpc)",
+            "1, 2, 4, 8 (1 = private I-caches)".to_string(),
+        ),
         row(
             "I-cache",
             format!(
@@ -92,7 +95,10 @@ pub fn compute() -> Table1 {
         ),
         row(
             "L2-DRAM bus",
-            format!("{}-cycle latency + contention, 32 B wide", cfg.l2.dram_bus_latency),
+            format!(
+                "{}-cycle latency + contention, 32 B wide",
+                cfg.l2.dram_bus_latency
+            ),
         ),
         row(
             "DRAM",

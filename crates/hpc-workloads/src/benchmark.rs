@@ -156,7 +156,10 @@ mod tests {
     #[test]
     fn there_are_24_benchmarks() {
         assert_eq!(Benchmark::ALL.len(), 24);
-        let npb = Benchmark::ALL.iter().filter(|b| b.suite() == Suite::Npb).count();
+        let npb = Benchmark::ALL
+            .iter()
+            .filter(|b| b.suite() == Suite::Npb)
+            .count();
         let spec = Benchmark::ALL
             .iter()
             .filter(|b| b.suite() == Suite::SpecOmp2012)

@@ -397,7 +397,7 @@ impl TraceGenerator {
         );
         em.hot_loop(
             CodeLayout::private_base(tid),
-            PRIVATE_KERNEL_BYTES as u32,
+            PRIVATE_KERNEL_BYTES,
             p.parallel_bb_bytes.min(PRIVATE_KERNEL_BYTES),
             private_budget,
             p.parallel_branch_noise,
@@ -473,7 +473,8 @@ mod tests {
             let stats = TraceStats::from_trace(set.master());
             let got_parallel = stats.parallel.avg_basic_block_bytes();
             assert!(
-                (got_parallel - p.parallel_bb_bytes as f64).abs() < p.parallel_bb_bytes as f64 * 0.25,
+                (got_parallel - p.parallel_bb_bytes as f64).abs()
+                    < p.parallel_bb_bytes as f64 * 0.25,
                 "{b}: parallel BB length {got_parallel:.1} vs profile {}",
                 p.parallel_bb_bytes
             );
@@ -564,7 +565,12 @@ mod tests {
             let starts = t
                 .records()
                 .iter()
-                .filter(|r| matches!(r, sim_trace::TraceRecord::Sync(SyncEvent::ParallelStart { .. })))
+                .filter(|r| {
+                    matches!(
+                        r,
+                        sim_trace::TraceRecord::Sync(SyncEvent::ParallelStart { .. })
+                    )
+                })
                 .count();
             let ends = t
                 .records()
@@ -586,7 +592,10 @@ mod tests {
         };
         for b in Benchmark::ALL {
             let set = generate(b, cfg);
-            assert!(set.total_instructions() > 0, "{b} generated an empty trace set");
+            assert!(
+                set.total_instructions() > 0,
+                "{b} generated an empty trace set"
+            );
         }
     }
 

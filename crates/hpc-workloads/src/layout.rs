@@ -150,10 +150,16 @@ mod tests {
 
     #[test]
     fn region_constants_are_ordered() {
-        assert!(SERIAL_HOT_BASE < SERIAL_COLD_BASE);
-        assert!(SERIAL_COLD_BASE < KERNEL_BASE);
-        assert!(KERNEL_BASE < PARALLEL_COLD_BASE);
-        assert!(PARALLEL_COLD_BASE < CRITICAL_BASE);
-        assert!(CRITICAL_BASE < PRIVATE_BASE);
+        // The bases are compile-time constants; sorting a runtime copy keeps
+        // the ordering check in one place without constant-assertion lints.
+        let bases = [
+            SERIAL_HOT_BASE,
+            SERIAL_COLD_BASE,
+            KERNEL_BASE,
+            PARALLEL_COLD_BASE,
+            CRITICAL_BASE,
+            PRIVATE_BASE,
+        ];
+        assert!(bases.windows(2).all(|w| w[0] < w[1]), "{bases:?}");
     }
 }

@@ -84,30 +84,102 @@ impl WorkloadProfile {
         use Benchmark::*;
         // Columns:                        ser%   bbS  bbP   serFootKB serCold  kernB nK  parCold  share  pNoise sNoise  mIPCs mIPCp wIPC  crit  barriers
         let p = match benchmark {
-            Bt => Self::build(benchmark, 0.005, 48, 240, 48, 0.13, 6144, 2, 0.0002, 0.995, 0.01, 0.06, 1.8, 1.5, 0.9, false, 2),
-            Cg => Self::build(benchmark, 0.010, 32, 64, 32, 0.24, 192, 3, 0.0, 0.990, 0.02, 0.08, 1.5, 1.2, 0.6, false, 2),
-            Dc => Self::build(benchmark, 0.020, 40, 96, 192, 0.80, 1024, 4, 0.0, 0.985, 0.02, 0.10, 1.4, 1.2, 0.7, false, 1),
-            Ep => Self::build(benchmark, 0.010, 40, 128, 24, 0.08, 896, 2, 0.0, 0.998, 0.01, 0.05, 2.0, 1.6, 1.0, false, 1),
-            Ft => Self::build(benchmark, 0.040, 44, 132, 48, 0.32, 1536, 3, 0.0, 0.995, 0.01, 0.06, 1.9, 1.5, 0.9, false, 2),
-            Is => Self::build(benchmark, 0.080, 32, 56, 32, 0.19, 128, 2, 0.0, 0.990, 0.02, 0.08, 1.6, 1.3, 0.6, false, 1),
-            Lu => Self::build(benchmark, 0.005, 48, 320, 40, 0.10, 8192, 1, 0.0002, 0.997, 0.01, 0.05, 1.9, 1.6, 1.0, false, 2),
-            Mg => Self::build(benchmark, 0.020, 44, 140, 56, 0.29, 2048, 4, 0.0, 0.995, 0.01, 0.06, 1.8, 1.5, 0.8, false, 2),
-            Sp => Self::build(benchmark, 0.010, 48, 200, 48, 0.16, 5120, 2, 0.0002, 0.996, 0.01, 0.06, 1.8, 1.5, 0.9, false, 2),
-            Ua => Self::build(benchmark, 0.050, 40, 96, 64, 0.40, 448, 6, 0.0002, 0.992, 0.02, 0.08, 1.7, 1.4, 1.1, false, 2),
-            Md => Self::build(benchmark, 0.003, 48, 180, 24, 0.13, 4096, 2, 0.0, 0.997, 0.01, 0.05, 1.9, 1.6, 0.9, false, 1),
-            Bwaves => Self::build(benchmark, 0.005, 56, 300, 32, 0.16, 7168, 1, 0.0, 0.997, 0.01, 0.05, 2.0, 1.7, 1.0, false, 1),
-            Nab => Self::build(benchmark, 0.220, 120, 80, 40, 0.24, 768, 3, 0.0, 0.990, 0.02, 0.04, 1.8, 1.4, 0.8, false, 1),
-            BotsSpar => Self::build(benchmark, 0.020, 40, 72, 48, 0.32, 256, 3, 0.0, 0.988, 0.03, 0.09, 1.5, 1.2, 0.7, true, 1),
-            BotsAlgn => Self::build(benchmark, 0.010, 36, 60, 40, 0.29, 192, 3, 0.0, 0.985, 0.03, 0.09, 1.5, 1.2, 0.7, true, 1),
-            Ilbdc => Self::build(benchmark, 0.003, 48, 330, 24, 0.08, 8192, 1, 0.0, 0.998, 0.01, 0.04, 2.0, 1.7, 1.0, false, 1),
-            Fma3d => Self::build(benchmark, 0.050, 56, 120, 96, 0.48, 1536, 4, 0.0, 0.993, 0.02, 0.07, 1.7, 1.4, 0.8, false, 2),
-            Imagick => Self::build(benchmark, 0.030, 44, 110, 128, 0.72, 1280, 4, 0.0, 0.992, 0.02, 0.08, 1.6, 1.3, 0.9, false, 1),
-            Smithwa => Self::build(benchmark, 0.020, 40, 80, 48, 0.35, 512, 3, 0.0, 0.990, 0.02, 0.08, 1.6, 1.3, 0.8, false, 1),
-            Kdtree => Self::build(benchmark, 0.010, 36, 64, 40, 0.24, 256, 3, 0.0, 0.988, 0.03, 0.08, 1.5, 1.2, 0.7, false, 1),
-            CoEvp => Self::build(benchmark, 0.100, 150, 100, 64, 0.56, 2048, 8, 0.020, 0.990, 0.02, 0.04, 1.7, 1.4, 0.8, false, 2),
-            CoMd => Self::build(benchmark, 0.200, 56, 130, 16, 0.16, 2048, 3, 0.0, 0.995, 0.01, 0.05, 1.9, 1.5, 0.9, false, 2),
-            CoSp => Self::build(benchmark, 0.030, 40, 60, 48, 0.40, 192, 3, 0.0, 0.988, 0.03, 0.09, 1.5, 1.2, 0.6, false, 1),
-            Lulesh => Self::build(benchmark, 0.070, 52, 280, 56, 0.19, 6144, 2, 0.0, 0.996, 0.01, 0.05, 1.9, 1.6, 1.0, false, 2),
+            Bt => Self::build(
+                benchmark, 0.005, 48, 240, 48, 0.13, 6144, 2, 0.0002, 0.995, 0.01, 0.06, 1.8, 1.5,
+                0.9, false, 2,
+            ),
+            Cg => Self::build(
+                benchmark, 0.010, 32, 64, 32, 0.24, 192, 3, 0.0, 0.990, 0.02, 0.08, 1.5, 1.2, 0.6,
+                false, 2,
+            ),
+            Dc => Self::build(
+                benchmark, 0.020, 40, 96, 192, 0.80, 1024, 4, 0.0, 0.985, 0.02, 0.10, 1.4, 1.2,
+                0.7, false, 1,
+            ),
+            Ep => Self::build(
+                benchmark, 0.010, 40, 128, 24, 0.08, 896, 2, 0.0, 0.998, 0.01, 0.05, 2.0, 1.6, 1.0,
+                false, 1,
+            ),
+            Ft => Self::build(
+                benchmark, 0.040, 44, 132, 48, 0.32, 1536, 3, 0.0, 0.995, 0.01, 0.06, 1.9, 1.5,
+                0.9, false, 2,
+            ),
+            Is => Self::build(
+                benchmark, 0.080, 32, 56, 32, 0.19, 128, 2, 0.0, 0.990, 0.02, 0.08, 1.6, 1.3, 0.6,
+                false, 1,
+            ),
+            Lu => Self::build(
+                benchmark, 0.005, 48, 320, 40, 0.10, 8192, 1, 0.0002, 0.997, 0.01, 0.05, 1.9, 1.6,
+                1.0, false, 2,
+            ),
+            Mg => Self::build(
+                benchmark, 0.020, 44, 140, 56, 0.29, 2048, 4, 0.0, 0.995, 0.01, 0.06, 1.8, 1.5,
+                0.8, false, 2,
+            ),
+            Sp => Self::build(
+                benchmark, 0.010, 48, 200, 48, 0.16, 5120, 2, 0.0002, 0.996, 0.01, 0.06, 1.8, 1.5,
+                0.9, false, 2,
+            ),
+            Ua => Self::build(
+                benchmark, 0.050, 40, 96, 64, 0.40, 448, 6, 0.0002, 0.992, 0.02, 0.08, 1.7, 1.4,
+                1.1, false, 2,
+            ),
+            Md => Self::build(
+                benchmark, 0.003, 48, 180, 24, 0.13, 4096, 2, 0.0, 0.997, 0.01, 0.05, 1.9, 1.6,
+                0.9, false, 1,
+            ),
+            Bwaves => Self::build(
+                benchmark, 0.005, 56, 300, 32, 0.16, 7168, 1, 0.0, 0.997, 0.01, 0.05, 2.0, 1.7,
+                1.0, false, 1,
+            ),
+            Nab => Self::build(
+                benchmark, 0.220, 120, 80, 40, 0.24, 768, 3, 0.0, 0.990, 0.02, 0.04, 1.8, 1.4, 0.8,
+                false, 1,
+            ),
+            BotsSpar => Self::build(
+                benchmark, 0.020, 40, 72, 48, 0.32, 256, 3, 0.0, 0.988, 0.03, 0.09, 1.5, 1.2, 0.7,
+                true, 1,
+            ),
+            BotsAlgn => Self::build(
+                benchmark, 0.010, 36, 60, 40, 0.29, 192, 3, 0.0, 0.985, 0.03, 0.09, 1.5, 1.2, 0.7,
+                true, 1,
+            ),
+            Ilbdc => Self::build(
+                benchmark, 0.003, 48, 330, 24, 0.08, 8192, 1, 0.0, 0.998, 0.01, 0.04, 2.0, 1.7,
+                1.0, false, 1,
+            ),
+            Fma3d => Self::build(
+                benchmark, 0.050, 56, 120, 96, 0.48, 1536, 4, 0.0, 0.993, 0.02, 0.07, 1.7, 1.4,
+                0.8, false, 2,
+            ),
+            Imagick => Self::build(
+                benchmark, 0.030, 44, 110, 128, 0.72, 1280, 4, 0.0, 0.992, 0.02, 0.08, 1.6, 1.3,
+                0.9, false, 1,
+            ),
+            Smithwa => Self::build(
+                benchmark, 0.020, 40, 80, 48, 0.35, 512, 3, 0.0, 0.990, 0.02, 0.08, 1.6, 1.3, 0.8,
+                false, 1,
+            ),
+            Kdtree => Self::build(
+                benchmark, 0.010, 36, 64, 40, 0.24, 256, 3, 0.0, 0.988, 0.03, 0.08, 1.5, 1.2, 0.7,
+                false, 1,
+            ),
+            CoEvp => Self::build(
+                benchmark, 0.100, 150, 100, 64, 0.56, 2048, 8, 0.020, 0.990, 0.02, 0.04, 1.7, 1.4,
+                0.8, false, 2,
+            ),
+            CoMd => Self::build(
+                benchmark, 0.200, 56, 130, 16, 0.16, 2048, 3, 0.0, 0.995, 0.01, 0.05, 1.9, 1.5,
+                0.9, false, 2,
+            ),
+            CoSp => Self::build(
+                benchmark, 0.030, 40, 60, 48, 0.40, 192, 3, 0.0, 0.988, 0.03, 0.09, 1.5, 1.2, 0.6,
+                false, 1,
+            ),
+            Lulesh => Self::build(
+                benchmark, 0.070, 52, 280, 56, 0.19, 6144, 2, 0.0, 0.996, 0.01, 0.05, 1.9, 1.6,
+                1.0, false, 2,
+            ),
         };
         p.validate();
         p
@@ -248,7 +320,10 @@ mod tests {
             .iter()
             .filter(|b| b.profile().serial_fraction <= 0.02)
             .count();
-        assert!(below_2pc >= 12, "most benchmarks have tiny serial fractions");
+        assert!(
+            below_2pc >= 12,
+            "most benchmarks have tiny serial fractions"
+        );
     }
 
     #[test]

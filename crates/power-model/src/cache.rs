@@ -87,7 +87,10 @@ mod tests {
         let full = CacheCostModel::new(32 * 1024);
         let half = CacheCostModel::new(16 * 1024);
         assert!(half.area_mm2() < full.area_mm2());
-        assert!(half.area_mm2() > full.area_mm2() / 2.0, "area has periphery overhead");
+        assert!(
+            half.area_mm2() > full.area_mm2() / 2.0,
+            "area has periphery overhead"
+        );
         assert!((half.static_power_mw() - full.static_power_mw() / 2.0).abs() < 1e-9);
         assert!(half.read_energy_pj() < full.read_energy_pj());
         assert!(half.read_energy_pj() > full.read_energy_pj() / 2.0);

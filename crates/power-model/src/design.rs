@@ -85,13 +85,20 @@ impl ClusterDesign {
         ClusterDesign {
             num_workers,
             line_buffers: 4,
-            organisation: IcacheOrganisation::Private { size_bytes: 32 * 1024 },
+            organisation: IcacheOrganisation::Private {
+                size_bytes: 32 * 1024,
+            },
         }
     }
 
     /// A cpc = `num_workers` shared design with the given cache size, line
     /// buffers and bus count.
-    pub fn shared(num_workers: usize, size_bytes: u64, line_buffers: usize, num_buses: usize) -> Self {
+    pub fn shared(
+        num_workers: usize,
+        size_bytes: u64,
+        line_buffers: usize,
+        num_buses: usize,
+    ) -> Self {
         ClusterDesign {
             num_workers,
             line_buffers,
@@ -107,9 +114,9 @@ impl ClusterDesign {
     pub fn num_icaches(&self) -> usize {
         match self.organisation {
             IcacheOrganisation::Private { .. } => self.num_workers,
-            IcacheOrganisation::Shared { cores_per_cache, .. } => {
-                self.num_workers.div_ceil(cores_per_cache)
-            }
+            IcacheOrganisation::Shared {
+                cores_per_cache, ..
+            } => self.num_workers.div_ceil(cores_per_cache),
         }
     }
 
@@ -172,10 +179,12 @@ impl ClusterDesign {
         // mW × s = mJ; pJ × count = pJ, converted to mJ via 1e-9.
         EnergyBreakdown {
             static_mj: self.static_power_mw() * seconds,
-            core_dynamic_mj: activity.instructions as f64 * LeanCoreModel::ENERGY_PER_INSTR_PJ
+            core_dynamic_mj: activity.instructions as f64
+                * LeanCoreModel::ENERGY_PER_INSTR_PJ
                 * 1e-9,
             icache_dynamic_mj: activity.icache_accesses as f64 * icache.read_energy_pj() * 1e-9,
-            line_buffer_dynamic_mj: activity.line_buffer_accesses as f64 * LineBufferCost::READ_PJ
+            line_buffer_dynamic_mj: activity.line_buffer_accesses as f64
+                * LineBufferCost::READ_PJ
                 * 1e-9,
             bus_dynamic_mj: activity.bus_transactions as f64 * bus_pj * 1e-9,
         }

@@ -102,11 +102,16 @@ impl AcmpConfig {
     /// Panics if `cpc` does not divide the number of workers.
     pub fn worker_shared(num_workers: usize, cpc: usize) -> Self {
         let mut c = Self::baseline(num_workers);
-        assert!(cpc >= 1 && num_workers % cpc == 0, "cpc must divide the worker count");
+        assert!(
+            cpc >= 1 && num_workers.is_multiple_of(cpc),
+            "cpc must divide the worker count"
+        );
         c.sharing = if cpc == 1 {
             SharingMode::Private
         } else {
-            SharingMode::WorkerShared { cores_per_cache: cpc }
+            SharingMode::WorkerShared {
+                cores_per_cache: cpc,
+            }
         };
         c
     }
@@ -167,7 +172,7 @@ impl AcmpConfig {
         self.worker_core.validate();
         if let SharingMode::WorkerShared { cores_per_cache } = self.sharing {
             assert!(
-                cores_per_cache >= 2 && self.num_workers % cores_per_cache == 0,
+                cores_per_cache >= 2 && self.num_workers.is_multiple_of(cores_per_cache),
                 "cores-per-cache {cores_per_cache} must divide the worker count {}",
                 self.num_workers
             );

@@ -213,15 +213,11 @@ impl Machine {
             for update in unit.tick(cycle) {
                 // Replace the matching waiting-grant entry with the resolved
                 // timing.
-                if let Some(req) = self
-                    .in_flight
-                    .iter_mut()
-                    .find(|r| {
-                        r.core == update.core
-                            && r.line == update.line
-                            && r.phase == RequestPhase::WaitingGrant
-                    })
-                {
+                if let Some(req) = self.in_flight.iter_mut().find(|r| {
+                    r.core == update.core
+                        && r.line == update.line
+                        && r.phase == RequestPhase::WaitingGrant
+                }) {
                     *req = update;
                 } else {
                     // The request may already have been replaced (duplicate
@@ -333,7 +329,9 @@ mod tests {
     }
 
     fn run(config: AcmpConfig, set: &TraceSet) -> SimResult {
-        Machine::new(config, set).run().expect("simulation completes")
+        Machine::new(config, set)
+            .run()
+            .expect("simulation completes")
     }
 
     #[test]
@@ -408,7 +406,9 @@ mod tests {
             &set,
         );
         assert!(double.cycles <= single.cycles);
-        assert!(double.worker_cpi_stack().ibus_congestion <= single.worker_cpi_stack().ibus_congestion);
+        assert!(
+            double.worker_cpi_stack().ibus_congestion <= single.worker_cpi_stack().ibus_congestion
+        );
     }
 
     #[test]
@@ -421,8 +421,16 @@ mod tests {
     #[test]
     fn thread_count_mismatch_is_reported() {
         let set = traces(Benchmark::Cg, 2, 6_000);
-        let err = Machine::new(AcmpConfig::baseline(4), &set).run().unwrap_err();
-        assert!(matches!(err, SimError::ThreadCountMismatch { expected: 5, found: 3 }));
+        let err = Machine::new(AcmpConfig::baseline(4), &set)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ThreadCountMismatch {
+                expected: 5,
+                found: 3
+            }
+        ));
         assert!(err.to_string().contains("5 cores"));
     }
 
@@ -432,7 +440,10 @@ mod tests {
         let mut cfg = AcmpConfig::baseline(2);
         cfg.max_cycles = 100;
         let err = Machine::new(cfg, &set).run().unwrap_err();
-        assert!(matches!(err, SimError::CycleLimitExceeded { limit: 100, .. }));
+        assert!(matches!(
+            err,
+            SimError::CycleLimitExceeded { limit: 100, .. }
+        ));
     }
 
     #[test]
@@ -449,7 +460,10 @@ mod tests {
         let r = run(AcmpConfig::baseline(2), &set);
         // Workers must wait for the master's serial sections.
         let worker_sync: u64 = r.cores.iter().skip(1).map(|c| c.cpi.sync).sum();
-        assert!(worker_sync > 0, "workers should block while the master runs serial code");
+        assert!(
+            worker_sync > 0,
+            "workers should block while the master runs serial code"
+        );
     }
 
     #[test]

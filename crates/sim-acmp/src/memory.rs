@@ -62,8 +62,16 @@ pub struct IcacheUnit {
 impl IcacheUnit {
     /// Creates a unit serving `cores`; `shared` selects whether a bus sits
     /// between the cores and the cache.
-    pub fn new(config: &AcmpConfig, cores: Vec<usize>, shared: bool, cache_cfg: sim_cache::CacheConfig) -> Self {
-        assert!(!cores.is_empty(), "an I-cache unit serves at least one core");
+    pub fn new(
+        config: &AcmpConfig,
+        cores: Vec<usize>,
+        shared: bool,
+        cache_cfg: sim_cache::CacheConfig,
+    ) -> Self {
+        assert!(
+            !cores.is_empty(),
+            "an I-cache unit serves at least one core"
+        );
         let num_banks = if shared {
             config.bus_width.num_buses() as u32
         } else {
@@ -135,12 +143,11 @@ impl IcacheUnit {
     /// the request is queued on the bus and the returned request sits in the
     /// `WaitingGrant` phase.
     pub fn submit(&mut self, cycle: u64, core: usize, line: u64) -> InFlightRequest {
-        if self.interconnect.is_some() {
-            let local = self.local_index(core);
-            self.interconnect
-                .as_mut()
-                .expect("checked above")
-                .submit(cycle, local, line);
+        // `local_index` only reads `self.cores`, so it is computed up front
+        // to keep the mutable borrow of the interconnect short.
+        let local = self.interconnect.is_some().then(|| self.local_index(core));
+        if let (Some(interconnect), Some(local)) = (self.interconnect.as_mut(), local) {
+            interconnect.submit(cycle, local, line);
             InFlightRequest {
                 core,
                 line,
@@ -184,7 +191,8 @@ impl IcacheUnit {
         for grant in grants {
             let core = self.cores[grant.requester];
             let transfer = grant.transfer_done_cycle - grant.grant_cycle;
-            let (ready, phase) = self.access_cache(grant.grant_cycle, core, grant.line_addr, transfer);
+            let (ready, phase) =
+                self.access_cache(grant.grant_cycle, core, grant.line_addr, transfer);
             updates.push(InFlightRequest {
                 core,
                 line: grant.line_addr,
@@ -274,7 +282,10 @@ pub fn build_units(config: &AcmpConfig) -> Vec<IcacheUnit> {
                     ));
                 }
             }
-            assert!(group.is_empty(), "cores-per-cache must divide the worker count");
+            assert!(
+                group.is_empty(),
+                "cores-per-cache must divide the worker count"
+            );
             units
         }
         SharingMode::AllShared => {

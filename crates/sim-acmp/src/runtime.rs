@@ -161,11 +161,7 @@ impl SyncRuntime {
     }
 
     fn check_barrier(&mut self, id: u32) -> Vec<usize> {
-        let arrived = self
-            .barrier_arrivals
-            .get(&id)
-            .map(|s| s.len())
-            .unwrap_or(0);
+        let arrived = self.barrier_arrivals.get(&id).map(|s| s.len()).unwrap_or(0);
         if arrived > 0 && arrived >= self.active_cores() {
             let released: Vec<usize> = self
                 .barrier_arrivals
@@ -205,7 +201,10 @@ mod tests {
         let mut rt = SyncRuntime::new(2);
         rt.handle_event(0, SyncEvent::ParallelStart { num_threads: 2 });
         rt.handle_event(1, SyncEvent::ParallelStart { num_threads: 2 });
-        assert!(rt.handle_event(0, SyncEvent::ParallelEnd).release.is_empty());
+        assert!(rt
+            .handle_event(0, SyncEvent::ParallelEnd)
+            .release
+            .is_empty());
         let d = rt.handle_event(1, SyncEvent::ParallelEnd);
         assert_eq!(d.release, vec![0, 1]);
         assert!(!rt.in_parallel_region());
@@ -215,8 +214,14 @@ mod tests {
     #[test]
     fn barrier_releases_only_its_own_id() {
         let mut rt = SyncRuntime::new(2);
-        assert!(rt.handle_event(0, SyncEvent::Barrier { id: 1 }).release.is_empty());
-        assert!(rt.handle_event(1, SyncEvent::Barrier { id: 2 }).release.is_empty());
+        assert!(rt
+            .handle_event(0, SyncEvent::Barrier { id: 1 })
+            .release
+            .is_empty());
+        assert!(rt
+            .handle_event(1, SyncEvent::Barrier { id: 2 })
+            .release
+            .is_empty());
         let d = rt.handle_event(1, SyncEvent::Barrier { id: 1 });
         assert_eq!(d.release, vec![0, 1]);
         let d = rt.handle_event(0, SyncEvent::Barrier { id: 2 });
@@ -227,10 +232,20 @@ mod tests {
     fn critical_section_is_mutually_exclusive() {
         let mut rt = SyncRuntime::new(3);
         // Core 0 acquires immediately.
-        assert_eq!(rt.handle_event(0, SyncEvent::CriticalWait { id: 5 }).release, vec![0]);
+        assert_eq!(
+            rt.handle_event(0, SyncEvent::CriticalWait { id: 5 })
+                .release,
+            vec![0]
+        );
         // Cores 1 and 2 must wait.
-        assert!(rt.handle_event(1, SyncEvent::CriticalWait { id: 5 }).release.is_empty());
-        assert!(rt.handle_event(2, SyncEvent::CriticalWait { id: 5 }).release.is_empty());
+        assert!(rt
+            .handle_event(1, SyncEvent::CriticalWait { id: 5 })
+            .release
+            .is_empty());
+        assert!(rt
+            .handle_event(2, SyncEvent::CriticalWait { id: 5 })
+            .release
+            .is_empty());
         // Core 0 releases: itself continues and core 1 (FIFO) acquires.
         let d = rt.handle_event(0, SyncEvent::CriticalSignal { id: 5 });
         assert_eq!(d.release, vec![0, 1]);
@@ -242,8 +257,16 @@ mod tests {
     #[test]
     fn independent_locks_do_not_interfere() {
         let mut rt = SyncRuntime::new(2);
-        assert_eq!(rt.handle_event(0, SyncEvent::CriticalWait { id: 1 }).release, vec![0]);
-        assert_eq!(rt.handle_event(1, SyncEvent::CriticalWait { id: 2 }).release, vec![1]);
+        assert_eq!(
+            rt.handle_event(0, SyncEvent::CriticalWait { id: 1 })
+                .release,
+            vec![0]
+        );
+        assert_eq!(
+            rt.handle_event(1, SyncEvent::CriticalWait { id: 2 })
+                .release,
+            vec![1]
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl SimResult {
         if workers.is_empty() {
             return 0.0;
         }
-        workers.iter().map(|c| c.line_buffers.access_ratio()).sum::<f64>() / workers.len() as f64
+        workers
+            .iter()
+            .map(|c| c.line_buffers.access_ratio())
+            .sum::<f64>()
+            / workers.len() as f64
     }
 
     /// Sum of the worker cores' CPI stacks.

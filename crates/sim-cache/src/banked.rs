@@ -46,7 +46,11 @@ impl BankedCache {
     /// # Panics
     ///
     /// Panics if `num_banks` is zero or not a power of two.
-    pub fn with_policy(config: CacheConfig, num_banks: u32, policy: &dyn ReplacementPolicy) -> Self {
+    pub fn with_policy(
+        config: CacheConfig,
+        num_banks: u32,
+        policy: &dyn ReplacementPolicy,
+    ) -> Self {
         assert!(
             num_banks > 0 && num_banks.is_power_of_two(),
             "number of banks must be a non-zero power of two, got {num_banks}"

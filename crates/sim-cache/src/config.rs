@@ -92,7 +92,8 @@ impl CacheConfig {
             self.line_size
         );
         assert!(
-            self.size_bytes % (self.associativity as u64 * self.line_size) == 0,
+            self.size_bytes
+                .is_multiple_of(self.associativity as u64 * self.line_size),
             "cache size {} is not divisible by associativity {} x line size {}",
             self.size_bytes,
             self.associativity,

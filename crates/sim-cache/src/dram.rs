@@ -104,7 +104,11 @@ impl Dram {
             self.config.cas_cycles + self.config.burst_cycles
         } else {
             self.stats.row_misses += 1;
-            let precharge = if open.is_some() { self.config.rp_cycles } else { 0 };
+            let precharge = if open.is_some() {
+                self.config.rp_cycles
+            } else {
+                0
+            };
             precharge + self.config.rcd_cycles + self.config.cas_cycles + self.config.burst_cycles
         }
     }
@@ -124,7 +128,10 @@ mod tests {
         let cfg = *d.config();
         let conflict_addr = cfg.row_size * cfg.num_banks;
         let miss = d.access(conflict_addr);
-        assert!(miss > hit, "row conflict {miss} should exceed row hit {hit}");
+        assert!(
+            miss > hit,
+            "row conflict {miss} should exceed row hit {hit}"
+        );
         assert_eq!(d.stats().accesses, 3);
         assert_eq!(d.stats().row_hits, 1);
         assert_eq!(d.stats().row_misses, 2);
@@ -146,7 +153,7 @@ mod tests {
         let cfg = *d.config();
         d.access(0); // bank 0, row 0
         d.access(cfg.row_size); // bank 1, row 1
-        // Returning to bank 0's open row is still a hit.
+                                // Returning to bank 0's open row is still a hit.
         let lat = d.access(0x40);
         assert_eq!(lat, cfg.cas_cycles + cfg.burst_cycles);
     }

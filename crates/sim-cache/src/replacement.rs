@@ -280,7 +280,11 @@ mod tests {
     fn clone_fresh_produces_reset_state() {
         let mut p = LruPolicy::new(4);
         p.touch(3);
-        assert_eq!(p.victim(), 2, "after touching 3, way 2 is at the LRU position");
+        assert_eq!(
+            p.victim(),
+            2,
+            "after touching 3, way 2 is at the LRU position"
+        );
         let fresh = p.clone_fresh();
         assert_eq!(
             fresh.victim(),

@@ -145,7 +145,7 @@ impl SetAssocCache {
         let line = addr & !(self.config.line_size - 1);
         let set_idx = self.config.set_index(line) as usize;
         let tag = self.config.tag(line);
-        self.sets[set_idx].tags.iter().any(|t| *t == Some(tag))
+        self.sets[set_idx].tags.contains(&Some(tag))
     }
 
     /// Number of valid lines currently resident.
@@ -281,7 +281,11 @@ mod tests {
                 c.access(l);
             }
         }
-        assert_eq!(c.stats().hits, 0, "cyclic over-capacity pattern never hits under LRU");
+        assert_eq!(
+            c.stats().hits,
+            0,
+            "cyclic over-capacity pattern never hits under LRU"
+        );
     }
 
     #[test]

@@ -85,7 +85,13 @@ mod tests {
 
     #[test]
     fn with_line_buffers_propagates() {
-        assert_eq!(CoreConfig::worker().with_line_buffers(8).frontend.line_buffers, 8);
+        assert_eq!(
+            CoreConfig::worker()
+                .with_line_buffers(8)
+                .frontend
+                .line_buffers,
+            8
+        );
     }
 
     #[test]

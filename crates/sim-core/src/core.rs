@@ -262,8 +262,8 @@ impl Core {
     }
 
     fn commit(&mut self) -> u32 {
-        self.commit_credit = (self.commit_credit + self.commit_rate)
-            .min(self.config.commit_width as f64);
+        self.commit_credit =
+            (self.commit_credit + self.commit_rate).min(self.config.commit_width as f64);
         let possible = self.commit_credit.floor() as usize;
         let n = possible
             .min(self.iq_occupancy)
@@ -409,7 +409,9 @@ impl Core {
         if space == 0 {
             return;
         }
-        let Some(head) = self.ftq.head_mut() else { return };
+        let Some(head) = self.ftq.head_mut() else {
+            return;
+        };
 
         let avg_size = (head.len_bytes / head.num_instrs.max(1)).max(1) as u64;
         let bytes_left_in_line = (line + line_size).saturating_sub(head.start);
@@ -583,8 +585,7 @@ mod tests {
         let mut cycle = 0;
         while !core.is_finished() && cycle < max_cycles {
             // Deliver lines that are ready.
-            let (ready, rest): (Vec<_>, Vec<_>) =
-                in_flight.iter().partition(|(c, _)| *c <= cycle);
+            let (ready, rest): (Vec<_>, Vec<_>) = in_flight.iter().partition(|(c, _)| *c <= cycle);
             in_flight = rest;
             for (_, line) in ready {
                 core.deliver_line(line, cycle);
@@ -625,9 +626,15 @@ mod tests {
         let trace = loop_trace(200, 16, 1.0);
         let expected = trace.num_instructions();
         let (cycles, core) = run_with_fixed_latency(CoreConfig::worker(), trace, 2, 100_000);
-        assert!(core.is_finished(), "core should finish within the cycle budget");
+        assert!(
+            core.is_finished(),
+            "core should finish within the cycle budget"
+        );
         assert_eq!(core.instructions(), expected);
-        assert!(cycles >= expected, "IPC 1.0 cannot exceed 1 instruction per cycle");
+        assert!(
+            cycles >= expected,
+            "IPC 1.0 cannot exceed 1 instruction per cycle"
+        );
     }
 
     #[test]
@@ -701,7 +708,8 @@ mod tests {
             // 2048 instructions = 8 KB = 128 lines >> 4 line buffers.
             b.basic_block(0x2_0000, 2048, 0x2_0000, true);
         }
-        let (_cycles, core) = run_with_fixed_latency(CoreConfig::worker(), b.finish(), 1, 2_000_000);
+        let (_cycles, core) =
+            run_with_fixed_latency(CoreConfig::worker(), b.finish(), 1, 2_000_000);
         let ratio = core.line_buffer_stats().access_ratio();
         assert!(
             ratio > 0.8,
@@ -771,7 +779,10 @@ mod tests {
             }
         }
         assert!(saw_event, "the barrier must be reported");
-        assert!(core.is_finished(), "the core must finish after being released");
+        assert!(
+            core.is_finished(),
+            "the core must finish after being released"
+        );
         assert_eq!(core.instructions(), 16);
     }
 
@@ -794,7 +805,8 @@ mod tests {
             b.branch(addr + 12, 4, target, taken);
             addr = target;
         }
-        let (_cycles, core) = run_with_fixed_latency(CoreConfig::worker(), b.finish(), 1, 2_000_000);
+        let (_cycles, core) =
+            run_with_fixed_latency(CoreConfig::worker(), b.finish(), 1, 2_000_000);
         assert!(core.is_finished());
         assert!(
             core.cpi().branch_miss > 500,
@@ -841,6 +853,10 @@ mod tests {
     fn fetch_blocks_are_counted() {
         let trace = loop_trace(10, 16, 1.0);
         let (_c, core) = run_with_fixed_latency(CoreConfig::worker(), trace, 1, 10_000);
-        assert_eq!(core.fetch_blocks(), 10, "one fetch block per loop iteration");
+        assert_eq!(
+            core.fetch_blocks(),
+            10,
+            "one fetch block per loop iteration"
+        );
     }
 }

@@ -78,11 +78,20 @@ impl FrontEndConfig {
     /// two.
     pub fn validate(&self) {
         assert!(self.line_buffers > 0, "need at least one line buffer");
-        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.fetch_width > 0, "fetch width must be positive");
-        assert!(self.instr_queue_capacity > 0, "instruction queue must have capacity");
+        assert!(
+            self.instr_queue_capacity > 0,
+            "instruction queue must have capacity"
+        );
         assert!(self.ftq_capacity > 0, "FTQ must have capacity");
-        assert!(self.max_fetch_block_bytes > 0, "fetch blocks must be non-empty");
+        assert!(
+            self.max_fetch_block_bytes > 0,
+            "fetch blocks must be non-empty"
+        );
     }
 }
 

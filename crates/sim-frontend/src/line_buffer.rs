@@ -86,7 +86,10 @@ impl LineBufferFile {
     /// Panics if `n` is zero or `line_size` is not a power of two.
     pub fn new(n: usize, line_size: u64) -> Self {
         assert!(n > 0, "need at least one line buffer");
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineBufferFile {
             buffers: vec![
                 Buffer {
@@ -250,12 +253,18 @@ impl LineBufferFile {
 
     /// Number of buffers with an outstanding request.
     pub fn pending_count(&self) -> usize {
-        self.buffers.iter().filter(|b| b.state == State::Pending).count()
+        self.buffers
+            .iter()
+            .filter(|b| b.state == State::Pending)
+            .count()
     }
 
     /// Number of buffers holding a valid line.
     pub fn valid_count(&self) -> usize {
-        self.buffers.iter().filter(|b| b.state == State::Valid).count()
+        self.buffers
+            .iter()
+            .filter(|b| b.state == State::Valid)
+            .count()
     }
 
     /// Discards pending requests (misprediction flush).  Valid lines are

@@ -252,8 +252,8 @@ impl FetchPredictor {
         }
 
         // Global history.
-        self.history = ((self.history << 1) | u64::from(taken))
-            & ((1u64 << self.config.history_bits) - 1);
+        self.history =
+            ((self.history << 1) | u64::from(taken)) & ((1u64 << self.config.history_bits) - 1);
 
         // Loop predictor.
         let lidx = self.loop_index(pc);
@@ -354,7 +354,10 @@ mod tests {
             mispredicts_late, 0,
             "after warm-up the loop predictor should eliminate exit mispredictions"
         );
-        assert!(p.stats().loop_overrides > 0, "loop predictor should have overridden gshare");
+        assert!(
+            p.stats().loop_overrides > 0,
+            "loop predictor should have overridden gshare"
+        );
     }
 
     #[test]
@@ -368,7 +371,10 @@ mod tests {
             p.predict_and_train(0x4000, true, 0x3000, false);
         }
         let wrong = p.predict_and_train(0x4000, true, 0x3000, false);
-        assert!(!wrong, "warm always-taken branch with a stable target must not resteer");
+        assert!(
+            !wrong,
+            "warm always-taken branch with a stable target must not resteer"
+        );
     }
 
     #[test]
@@ -393,7 +399,10 @@ mod tests {
             p.predict_and_train(0x6000, true, 0x100, false);
         }
         let m = p.stats().mpki(10_000);
-        assert!(m <= 1.0, "at most a handful of mispredicts in 10k instructions");
+        assert!(
+            m <= 1.0,
+            "at most a handful of mispredicts in 10k instructions"
+        );
         assert_eq!(PredictorStats::default().mpki(0), 0.0);
     }
 
@@ -406,14 +415,19 @@ mod tests {
         let mut wrong = 0;
         let n = 10_000;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             if p.predict_and_train(0x7000, taken, 0x200, false) {
                 wrong += 1;
             }
         }
         let rate = wrong as f64 / n as f64;
-        assert!(rate > 0.25, "random outcomes should mispredict frequently, rate={rate}");
+        assert!(
+            rate > 0.25,
+            "random outcomes should mispredict frequently, rate={rate}"
+        );
     }
 
     #[test]

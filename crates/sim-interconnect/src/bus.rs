@@ -114,7 +114,10 @@ impl Bus {
             return None;
         }
         let chosen_pos = self.choose(cycle)?;
-        let p = self.pending.remove(chosen_pos).expect("chosen position is valid");
+        let p = self
+            .pending
+            .remove(chosen_pos)
+            .expect("chosen position is valid");
 
         let wait = cycle - p.submit_cycle;
         let beats = self.config.beats_per_line();
@@ -218,7 +221,11 @@ mod tests {
             }
             cycle += 1;
         }
-        assert_eq!(order, vec![0, 1, 2, 3], "initial rotation starts at requester 0");
+        assert_eq!(
+            order,
+            vec![0, 1, 2, 3],
+            "initial rotation starts at requester 0"
+        );
 
         // Now core 2 and core 0 request; after the last grant went to 3,
         // priority order is 0,1,2,3 again and 0 wins; then after 0 is
@@ -259,11 +266,8 @@ mod tests {
 
     #[test]
     fn fixed_priority_starves_lower_priority() {
-        let mut b = Bus::new(
-            BusConfig::new(2, 32, 64, Arbitration::FixedPriority),
-            2,
-        );
-        let mut grants = vec![0u64; 2];
+        let mut b = Bus::new(BusConfig::new(2, 32, 64, Arbitration::FixedPriority), 2);
+        let mut grants = [0u64; 2];
         for cycle in 0..100u64 {
             b.submit(cycle, 0, cycle * 64);
             if cycle == 0 {

@@ -43,7 +43,7 @@ impl BusConfig {
         assert!(width_bytes > 0, "bus width must be positive");
         assert!(line_size > 0, "line size must be positive");
         assert!(
-            line_size % width_bytes == 0,
+            line_size.is_multiple_of(width_bytes),
             "line size {line_size} must be a multiple of the bus width {width_bytes}"
         );
         BusConfig {

@@ -56,7 +56,10 @@ impl IcacheInterconnect {
 
     /// Advances every bus by one cycle; each bus may grant one transaction.
     pub fn tick(&mut self, cycle: u64) -> Vec<Grant> {
-        self.buses.iter_mut().filter_map(|b| b.tick(cycle)).collect()
+        self.buses
+            .iter_mut()
+            .filter_map(|b| b.tick(cycle))
+            .collect()
     }
 
     /// Returns `true` if no bus has pending or in-flight work at `cycle`.

@@ -18,7 +18,9 @@ use std::fmt;
 /// assert_eq!(a.line(64).raw(), 0x1040);
 /// assert_eq!(a.offset_in_line(64), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct InstrAddr(u64);
 
@@ -88,7 +90,9 @@ impl From<InstrAddr> for u64 {
 /// The invariant that the value is aligned to the line size is established at
 /// construction time; the line size itself is not stored (all components of
 /// one simulated machine agree on it through their configuration).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct LineAddr(u64);
 

@@ -56,7 +56,10 @@ impl FetchBlock {
     /// Iterator over the line addresses (raw, aligned) the block touches.
     pub fn lines(&self, line_size: u64) -> impl Iterator<Item = u64> {
         let first = crate::addr::line_addr(self.start.raw(), line_size);
-        let last = crate::addr::line_addr(self.start.raw() + self.len_bytes.max(1) as u64 - 1, line_size);
+        let last = crate::addr::line_addr(
+            self.start.raw() + self.len_bytes.max(1) as u64 - 1,
+            line_size,
+        );
         (first..=last).step_by(line_size as usize)
     }
 
@@ -277,7 +280,11 @@ mod tests {
 
     #[test]
     fn not_taken_branch_does_not_terminate() {
-        let items = blocks(vec![instr(0x100), branch(0x104, 0x200, false), instr(0x108)]);
+        let items = blocks(vec![
+            instr(0x100),
+            branch(0x104, 0x200, false),
+            instr(0x108),
+        ]);
         let fbs: Vec<_> = items
             .iter()
             .filter_map(|i| match i {

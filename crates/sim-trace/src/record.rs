@@ -276,6 +276,8 @@ mod tests {
             len: 4,
         };
         assert!(i.to_string().starts_with("I "));
-        assert!(TraceRecord::SetIpc { ipc: 2.0 }.to_string().starts_with("IPC"));
+        assert!(TraceRecord::SetIpc { ipc: 2.0 }
+            .to_string()
+            .starts_with("IPC"));
     }
 }

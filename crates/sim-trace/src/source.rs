@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a simulated thread (0 is the master thread).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct ThreadId(pub usize);
 
@@ -278,7 +280,10 @@ impl TraceBuilder {
     ///
     /// Panics if `ipc` is not positive and finite.
     pub fn set_ipc(&mut self, ipc: f64) -> &mut Self {
-        assert!(ipc.is_finite() && ipc > 0.0, "IPC must be positive, got {ipc}");
+        assert!(
+            ipc.is_finite() && ipc > 0.0,
+            "IPC must be positive, got {ipc}"
+        );
         self.trace.push(TraceRecord::SetIpc { ipc });
         self
     }

@@ -127,11 +127,9 @@ impl TraceStats {
                 TraceRecord::Sync(_) | TraceRecord::SetIpc { .. } => {}
                 TraceRecord::Instr { addr, len } => {
                     let (r, lines, open) = match region {
-                        Region::Serial => (
-                            &mut stats.serial,
-                            &mut serial_lines,
-                            &mut open_block_serial,
-                        ),
+                        Region::Serial => {
+                            (&mut stats.serial, &mut serial_lines, &mut open_block_serial)
+                        }
                         Region::Parallel => (
                             &mut stats.parallel,
                             &mut parallel_lines,
@@ -158,11 +156,9 @@ impl TraceStats {
                 }
                 TraceRecord::Branch { addr, len, info } => {
                     let (r, lines, open) = match region {
-                        Region::Serial => (
-                            &mut stats.serial,
-                            &mut serial_lines,
-                            &mut open_block_serial,
-                        ),
+                        Region::Serial => {
+                            (&mut stats.serial, &mut serial_lines, &mut open_block_serial)
+                        }
                         Region::Parallel => (
                             &mut stats.parallel,
                             &mut parallel_lines,
@@ -261,7 +257,10 @@ impl SharingStats {
     ///
     /// Panics if `stats` is empty.
     pub fn from_thread_stats(stats: &[TraceStats]) -> Self {
-        assert!(!stats.is_empty(), "sharing analysis requires at least one thread");
+        assert!(
+            !stats.is_empty(),
+            "sharing analysis requires at least one thread"
+        );
         let num_threads = stats.len();
 
         // Union and intersection of static parallel footprints.
@@ -272,7 +271,11 @@ impl SharingStats {
         let shared: HashSet<u64> = union
             .iter()
             .copied()
-            .filter(|a| stats.iter().all(|s| s.footprints.parallel_addrs.contains(a)))
+            .filter(|a| {
+                stats
+                    .iter()
+                    .all(|s| s.footprints.parallel_addrs.contains(a))
+            })
             .collect();
 
         let static_sharing = if union.is_empty() {

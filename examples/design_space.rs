@@ -94,7 +94,10 @@ fn main() {
         ]);
     }
 
-    println!("Design-space exploration over {:?}", benchmarks.map(|b| b.name()));
+    println!(
+        "Design-space exploration over {:?}",
+        benchmarks.map(|b| b.name())
+    );
     println!("(all values normalized to the private-32KB baseline)\n");
     println!("{table}");
     println!(

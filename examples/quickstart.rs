@@ -33,7 +33,9 @@ fn main() {
     let baseline = ctx.simulate(benchmark, &DesignPoint::baseline());
     let proposed = ctx.simulate(benchmark, &DesignPoint::proposed());
 
-    println!("                         baseline (private 32KB)   proposed (16KB shared, double bus)");
+    println!(
+        "                         baseline (private 32KB)   proposed (16KB shared, double bus)"
+    );
     println!(
         "cycles                   {:>24}   {:>24}",
         baseline.cycles, proposed.cycles
@@ -64,9 +66,7 @@ fn main() {
 
     let slowdown = proposed.cycles as f64 / baseline.cycles as f64;
     println!();
-    println!(
-        "normalized execution time of the proposed design: {slowdown:.3} (1.000 = baseline)"
-    );
+    println!("normalized execution time of the proposed design: {slowdown:.3} (1.000 = baseline)");
 
     // Area of the worker cluster, from the McPAT/CACTI-style model.
     let base_area = DesignPoint::baseline().cluster_design(8).area().total_mm2();

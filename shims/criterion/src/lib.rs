@@ -1,0 +1,159 @@
+//! Offline shim of `criterion`.
+//!
+//! Benches written against the real criterion API (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, `Bencher::iter`,
+//! benchmark groups) compile and run unchanged: each benchmark executes
+//! `sample_size` timed iterations and prints the mean wall-clock time per
+//! iteration.  There is no warm-up, outlier analysis or HTML report — the
+//! goal is that `cargo bench` exercises every benched code path and gives a
+//! rough number, entirely offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Opaque wrapper preventing the optimiser from deleting a benched value.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a group prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Finishes the group (no-op in this shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// time.
+pub struct Bencher {
+    iterations: usize,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of iterations, timing each one.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        iterations: sample_size,
+        total_nanos: 0,
+    };
+    f(&mut bencher);
+    let mean_nanos = bencher.total_nanos / bencher.iterations.max(1) as u128;
+    println!(
+        "{id:<40} {:>12.3} ms/iter ({} iters)",
+        mean_nanos as f64 / 1e6,
+        bencher.iterations
+    );
+}
+
+/// Declares a group of benchmark targets; both the simple and the
+/// `name = ...; config = ...; targets = ...` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the bench harness entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("shim/noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("shim");
+        group.bench_function(String::from("grouped"), |b| b.iter(|| black_box(2) * 2));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = demo;
+        config = Criterion::default().sample_size(3);
+        targets = target,
+    }
+
+    #[test]
+    fn group_runs() {
+        demo();
+    }
+}

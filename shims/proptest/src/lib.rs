@@ -1,0 +1,242 @@
+//! Offline shim of `proptest`.
+//!
+//! Provides the subset of the real API used by this workspace's integration
+//! tests: the [`proptest!`] macro (with `#![proptest_config(..)]`), integer
+//! range and [`any`] strategies, and the `prop_assert*` macros.
+//!
+//! Unlike the real proptest there is no shrinking and no persisted failure
+//! file: inputs are sampled from a **fixed-seed** deterministic generator so
+//! every CI run exercises exactly the same cases.  The case count comes from
+//! the test's `ProptestConfig`; as with the real proptest, the
+//! `PROPTEST_CASES` environment variable overrides it globally (CI sets a
+//! small value to bound runtime; a larger value widens coverage locally).
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+/// Per-test configuration (case count only, in this shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Effective case count: `PROPTEST_CASES` (if set and parseable)
+    /// overrides the configured value.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic source feeding every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// A generator with a fixed seed: every run samples the same cases.
+    pub fn deterministic() -> Self {
+        TestRng(ChaCha8Rng::seed_from_u64(0x5EED_CAFE_F00D_0001))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i32, i64, u32, u64, usize);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// The full-domain strategy for `T` (`any::<u64>()` etc.).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over deterministically sampled
+/// inputs.  See the crate docs for the differences from real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __cases = __config.effective_cases();
+                let mut __rng = $crate::TestRng::deterministic();
+                for _ in 0..__cases {
+                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` in this shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3u64..10, y in 0usize..4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn any_strategies_sample(b in any::<bool>(), x in any::<u64>()) {
+            // `b` and `x` come from the full domain; just touch them so the
+            // sampling path for `any` is exercised.
+            prop_assert!(usize::from(b) <= 1);
+            prop_assert_ne!(x, x.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        for _ in 0..32 {
+            assert_eq!((0u64..100).sample(&mut a), (0u64..100).sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn effective_cases_defaults_to_config() {
+        // PROPTEST_CASES is not set in unit-test runs of this crate.
+        if std::env::var_os("PROPTEST_CASES").is_none() {
+            assert_eq!(ProptestConfig::with_cases(7).effective_cases(), 7);
+        }
+    }
+}

@@ -41,7 +41,12 @@ fn proposed_design_has_no_meaningful_performance_cost() {
     // The paper's headline claim: 16 KB shared + double bus + 4 line buffers
     // performs like the private baseline.
     let ctx = context(8, 25_000);
-    let benchmarks = [Benchmark::Cg, Benchmark::Lu, Benchmark::Lulesh, Benchmark::CoMd];
+    let benchmarks = [
+        Benchmark::Cg,
+        Benchmark::Lu,
+        Benchmark::Lulesh,
+        Benchmark::CoMd,
+    ];
     let mut ratios = Vec::new();
     for b in benchmarks {
         let base = ctx.simulate(b, &DesignPoint::baseline());
@@ -64,9 +69,18 @@ fn naive_sharing_hurts_most_at_the_highest_sharing_degree() {
     let cpc8 = ctx.simulate(Benchmark::Ua, &DesignPoint::naive_shared(8));
     let r2 = cpc2.cycles as f64 / base.cycles as f64;
     let r8 = cpc8.cycles as f64 / base.cycles as f64;
-    assert!(r8 >= r2, "cpc=8 ({r8:.3}) should not be faster than cpc=2 ({r2:.3})");
-    assert!(r8 > 1.01, "UA should visibly suffer from naive sharing, got {r8:.3}");
-    assert!(r8 < 1.5, "the slowdown should stay in the tens of percent, got {r8:.3}");
+    assert!(
+        r8 >= r2,
+        "cpc=8 ({r8:.3}) should not be faster than cpc=2 ({r2:.3})"
+    );
+    assert!(
+        r8 > 1.01,
+        "UA should visibly suffer from naive sharing, got {r8:.3}"
+    );
+    assert!(
+        r8 < 1.5,
+        "the slowdown should stay in the tens of percent, got {r8:.3}"
+    );
 }
 
 #[test]
@@ -135,6 +149,39 @@ fn cpi_stacks_account_for_every_cycle() {
             "core {} accounts for too few cycles",
             core.core
         );
+    }
+}
+
+#[test]
+fn every_design_point_variant_simulates_without_panicking() {
+    // A small configuration keeps the full design-point sweep cheap enough
+    // for CI while still exercising every machine topology the paper
+    // evaluates (private, naive shared, resized/buffered/double-bus shared,
+    // and both all-shared variants).
+    let ctx = ExperimentContext::new(GeneratorConfig {
+        num_workers: 4,
+        parallel_instructions_per_thread: 4_000,
+        num_phases: 1,
+        seed: 5,
+    });
+    let designs = [
+        DesignPoint::baseline(),
+        DesignPoint::naive_shared(2),
+        DesignPoint::naive_shared(4),
+        DesignPoint::shared(16, 2, BusWidth::Single),
+        DesignPoint::shared(16, 8, BusWidth::Double),
+        DesignPoint::shared(32, 4, BusWidth::Double),
+        DesignPoint::proposed(),
+        DesignPoint::worker_shared_32k_double(),
+        DesignPoint::all_shared(),
+        DesignPoint::all_shared_single_bus(),
+        DesignPoint::proposed().with_line_buffers(8),
+    ];
+    let expected = ctx.traces(Benchmark::Cg).total_instructions();
+    for design in &designs {
+        let result = ctx.simulate(Benchmark::Cg, design);
+        assert_eq!(result.instructions, expected, "{design}");
+        assert!(result.cycles > 0, "{design}");
     }
 }
 

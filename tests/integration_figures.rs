@@ -77,8 +77,15 @@ fn figure3_parallel_mpki_is_far_below_serial_mpki() {
             );
         }
     }
-    let coevp = fig.rows.iter().find(|r| r.benchmark == Benchmark::CoEvp).unwrap();
-    assert!(coevp.parallel_mpki > 0.5, "CoEVP keeps a visible parallel MPKI");
+    let coevp = fig
+        .rows
+        .iter()
+        .find(|r| r.benchmark == Benchmark::CoEvp)
+        .unwrap();
+    assert!(
+        coevp.parallel_mpki > 0.5,
+        "CoEVP keeps a visible parallel MPKI"
+    );
 }
 
 #[test]
@@ -93,8 +100,16 @@ fn figure7_and_10_sharing_cost_is_recovered_by_bandwidth() {
     let ctx = context();
     let fig7 = figures::fig07::compute(&ctx, &SUBSET);
     for row in &fig7.rows {
-        assert!(row.cpc8 >= 0.97, "{}: sharing cannot be much faster", row.benchmark);
-        assert!(row.cpc8 < 1.4, "{}: slowdown should stay bounded", row.benchmark);
+        assert!(
+            row.cpc8 >= 0.97,
+            "{}: sharing cannot be much faster",
+            row.benchmark
+        );
+        assert!(
+            row.cpc8 < 1.4,
+            "{}: slowdown should stay bounded",
+            row.benchmark
+        );
     }
 
     let fig10 = figures::fig10::compute(&ctx, &SUBSET);
@@ -164,7 +179,11 @@ fn figure9_access_ratio_tracks_loop_working_set() {
 fn figure11_sharing_reduces_misses_for_miss_heavy_benchmarks() {
     let ctx = context();
     let fig = figures::fig11::compute(&ctx, &[Benchmark::CoEvp, Benchmark::Lu, Benchmark::Sp]);
-    let coevp = fig.rows.iter().find(|r| r.benchmark == Benchmark::CoEvp).unwrap();
+    let coevp = fig
+        .rows
+        .iter()
+        .find(|r| r.benchmark == Benchmark::CoEvp)
+        .unwrap();
     assert!(coevp.private_mpki > 0.2);
     assert!(
         coevp.shared_32k_percent < 80.0,
@@ -187,8 +206,16 @@ fn figure13_the_master_should_keep_its_private_icache() {
         assert!(row.ratio_double_bus < 1.25);
     }
     // The serial-heavy workload pays more than the parallel-heavy one.
-    let lu = fig.rows.iter().find(|r| r.benchmark == Benchmark::Lu).unwrap();
-    let nab = fig.rows.iter().find(|r| r.benchmark == Benchmark::Nab).unwrap();
+    let lu = fig
+        .rows
+        .iter()
+        .find(|r| r.benchmark == Benchmark::Lu)
+        .unwrap();
+    let nab = fig
+        .rows
+        .iter()
+        .find(|r| r.benchmark == Benchmark::Nab)
+        .unwrap();
     assert!(nab.serial_percent > lu.serial_percent);
     assert!(nab.ratio_double_bus >= lu.ratio_double_bus - 0.02);
 }

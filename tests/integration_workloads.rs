@@ -7,7 +7,12 @@ use shared_icache::sim_trace::{
     read_trace_json, write_trace_json, SharingStats, ThreadId, TraceStats,
 };
 
-fn generate(b: Benchmark, workers: usize, instrs: u64, seed: u64) -> shared_icache::sim_trace::TraceSet {
+fn generate(
+    b: Benchmark,
+    workers: usize,
+    instrs: u64,
+    seed: u64,
+) -> shared_icache::sim_trace::TraceSet {
     TraceGenerator::new(
         b.profile(),
         GeneratorConfig {
