@@ -1,0 +1,211 @@
+//! `sweep` — run a (benchmark × design point) grid on the sweep engine.
+//!
+//! ```text
+//! sweep --grid fig09                         # quick benchmarks × Fig. 9 designs
+//! sweep --benchmarks all --designs fig12 --workers 8
+//! sweep --benchmarks cg,lu --designs baseline,proposed --out rows.jsonl
+//! sweep --grid fig07 --scale paper --cache-dir /tmp/sweep-cache
+//! ```
+//!
+//! Result rows stream as JSONL (stdout by default, `--out FILE` otherwise);
+//! progress and the final summary go to stderr, so piping stdout yields
+//! pure JSONL.  The summary includes the cache counters; a second identical
+//! invocation with the same `--cache-dir` reports `disk-hits > 0` and
+//! produces byte-identical rows.
+
+use acmp_sweep::{GridSpec, SweepEngine};
+use hpc_workloads::GeneratorConfig;
+use std::io::Write;
+
+const USAGE: &str = "\
+usage: sweep [options]
+  --benchmarks SPEC   all | quick | comma list of names     (default: quick)
+  --designs SPEC      design spec (see below)               (default: baseline,proposed)
+  --grid PRESET       shorthand for --designs PRESET
+  --workers N         pool threads                          (default: nproc)
+  --scale S           quick | paper trace scale             (default: quick)
+  --out FILE          write JSONL rows to FILE              (default: stdout)
+  --cache-dir DIR     on-disk result store                  (default: target/sweep-cache)
+  --no-disk-cache     disable the on-disk store
+  --quiet             suppress per-job progress lines
+  --help              this text
+
+design specs: baseline proposed all-shared all-shared-single worker-shared-32k
+              naive:N  lb:N  shared:KiB:LB:single|double  fig07..fig13 presets";
+
+struct Options {
+    benchmarks: String,
+    designs: String,
+    workers: Option<usize>,
+    scale: String,
+    out: Option<String>,
+    cache_dir: Option<String>,
+    disk_cache: bool,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        benchmarks: "quick".to_string(),
+        designs: "baseline,proposed".to_string(),
+        workers: None,
+        scale: "quick".to_string(),
+        out: None,
+        cache_dir: None,
+        disk_cache: true,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--benchmarks" => opts.benchmarks = value("--benchmarks")?,
+            "--designs" => opts.designs = value("--designs")?,
+            "--grid" => opts.designs = value("--grid")?,
+            "--workers" => {
+                let v = value("--workers")?;
+                opts.workers = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad worker count `{v}`"))?,
+                );
+            }
+            "--scale" => {
+                let v = value("--scale")?;
+                if v != "quick" && v != "paper" {
+                    return Err(format!("bad scale `{v}` (quick|paper)"));
+                }
+                opts.scale = v;
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
+            "--no-disk-cache" => opts.disk_cache = false,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn generator(scale: &str) -> GeneratorConfig {
+    match scale {
+        "paper" => GeneratorConfig::paper(),
+        _ => GeneratorConfig {
+            num_workers: 4,
+            parallel_instructions_per_thread: 20_000,
+            num_phases: 2,
+            seed: 0xC0FF_EE00,
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("sweep: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let grid = match GridSpec::parse(&opts.benchmarks, &opts.designs) {
+        Ok(grid) => grid,
+        Err(msg) => {
+            eprintln!("sweep: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut engine = SweepEngine::new(generator(&opts.scale));
+    if let Some(n) = opts.workers {
+        engine = engine.with_threads(n);
+    }
+    if opts.disk_cache {
+        let root = opts
+            .cache_dir
+            .clone()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(acmp_sweep::DiskStore::default_root);
+        engine = match engine.with_disk_store(&root) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("sweep: cannot open cache dir {}: {e}", root.display());
+                std::process::exit(1);
+            }
+        };
+    }
+
+    let mut sink: Box<dyn Write> = match &opts.out {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("sweep: cannot create {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+
+    eprintln!(
+        "sweep: {} benchmarks × {} designs = {} jobs on {} workers ({} scale{})",
+        grid.benchmarks.len(),
+        grid.designs.len(),
+        grid.cells(),
+        engine.threads(),
+        opts.scale,
+        engine
+            .store()
+            .map(|s| format!(", cache {}", s.root().display()))
+            .unwrap_or_else(|| ", no disk cache".to_string()),
+    );
+
+    let start = std::time::Instant::now();
+    let total = grid.cells();
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    // Progress streams from the worker threads as each cell finishes; the
+    // JSONL rows themselves are written afterwards in stable input order.
+    let outcome = engine.run_grid_with(&grid.benchmarks, &grid.designs, |row| {
+        let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if !opts.quiet {
+            eprintln!(
+                "[{n}/{total}] {} × {}: {} cycles",
+                row.benchmark, row.design, row.result.cycles
+            );
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    for row in &outcome.rows {
+        if let Err(e) = writeln!(sink, "{}", row.to_jsonl()) {
+            eprintln!("sweep: write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = sink.flush() {
+        eprintln!("sweep: flush failed: {e}");
+        std::process::exit(1);
+    }
+
+    let stats = engine.stats();
+    eprintln!(
+        "sweep: done in {wall:.2}s — jobs {total}, simulated {}, memory-hits {}, disk-hits {}, steals {}, injector-pops {}",
+        stats.simulated, stats.memory_hits, stats.disk_hits, outcome.pool.steals, outcome.pool.injector_pops,
+    );
+    if let Some(store) = stats.store {
+        eprintln!(
+            "sweep: store — hits {}, misses {}, writes {}",
+            store.hits, store.misses, store.writes
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! The sweep engine: cached, parallel execution of simulation grids.
+
+use crate::design_point::DesignPoint;
+use crate::job::{JobKey, SweepJob};
+use crate::scheduler::{PoolStats, WorkStealingPool};
+use crate::sharded::ShardedMap;
+use crate::store::{DiskStore, StoreStats};
+use hpc_workloads::{Benchmark, GeneratorConfig, TraceGenerator};
+use serde_json::json;
+use sim_acmp::{Machine, SimResult};
+use sim_trace::TraceSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Snapshot of the engine's cache behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Simulations served from the in-memory sharded cache.
+    pub memory_hits: u64,
+    /// Simulations served from the on-disk store.
+    pub disk_hits: u64,
+    /// Simulations actually executed.
+    pub simulated: u64,
+    /// Counters of the attached disk store, if any.
+    pub store: Option<StoreStats>,
+}
+
+/// One completed cell of a sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The simulated workload.
+    pub benchmark: Benchmark,
+    /// The simulated machine configuration.
+    pub design: DesignPoint,
+    /// Content-addressed job key (hex digest).
+    pub key: String,
+    /// The simulation result.
+    pub result: Arc<SimResult>,
+}
+
+impl SweepRow {
+    /// The row as one line of canonical JSON (no trailing newline).
+    ///
+    /// Field order is fixed and every number is either an integer or a
+    /// shortest-round-trip float, so two runs of the same grid produce
+    /// byte-identical lines regardless of worker count or row order.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let r = &self.result;
+        json!({
+            "key": self.key,
+            "benchmark": self.benchmark.name(),
+            "design": self.design,
+            "cycles": r.cycles,
+            "instructions": r.instructions,
+            "parallel_cycles": r.parallel_cycles,
+            "serial_cycles": r.serial_cycles,
+            "parallel_regions": r.parallel_regions,
+            "worker_icache_mpki": r.worker_icache_mpki(),
+            "worker_access_ratio": r.worker_access_ratio(),
+            "bus_transactions": r.bus.transactions,
+        })
+        .to_string()
+    }
+}
+
+/// The outcome of running a grid: all rows (benchmark-major order) plus the
+/// scheduler's statistics.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One row per (benchmark, design) cell, in input order.
+    pub rows: Vec<SweepRow>,
+    /// How the work-stealing pool behaved.
+    pub pool: PoolStats,
+}
+
+/// Cached, parallel executor for (benchmark × design point) grids.
+///
+/// The engine owns three layers, consulted in order:
+///
+/// 1. a sharded in-memory result cache (lock per shard, not per engine),
+/// 2. an optional content-addressed on-disk store (warm starts across
+///    processes),
+/// 3. the cycle-level simulator itself, fanned out over a work-stealing
+///    thread pool.
+///
+/// Traces are generated once per benchmark in a sharded cache of their own.
+#[derive(Debug)]
+pub struct SweepEngine {
+    generator: GeneratorConfig,
+    pool: WorkStealingPool,
+    traces: ShardedMap<Benchmark, Arc<TraceSet>>,
+    results: ShardedMap<JobKey, Arc<SimResult>>,
+    store: Option<DiskStore>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    simulated: AtomicU64,
+}
+
+impl SweepEngine {
+    /// Creates an engine generating traces with `generator`, sized to the
+    /// host, with no disk store.
+    #[must_use]
+    pub fn new(generator: GeneratorConfig) -> Self {
+        generator.validate();
+        SweepEngine {
+            generator,
+            pool: WorkStealingPool::host_sized(),
+            traces: ShardedMap::new(),
+            results: ShardedMap::new(),
+            store: None,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            simulated: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the number of pool threads (≥ 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = WorkStealingPool::new(threads);
+        self
+    }
+
+    /// Attaches a content-addressed disk store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the store directory cannot be created.
+    pub fn with_disk_store(mut self, root: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.store = Some(DiskStore::open(root)?);
+        Ok(self)
+    }
+
+    /// Attaches the default disk store (`target/sweep-cache`, or
+    /// `$ACMP_SWEEP_CACHE`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the store directory cannot be created.
+    pub fn with_default_disk_store(self) -> std::io::Result<Self> {
+        let root = DiskStore::default_root();
+        self.with_disk_store(root)
+    }
+
+    /// The trace-generation configuration.
+    #[must_use]
+    pub fn generator(&self) -> &GeneratorConfig {
+        &self.generator
+    }
+
+    /// Number of *simulated* worker cores (a property of the generator, not
+    /// of the host thread pool).
+    #[must_use]
+    pub fn simulated_workers(&self) -> usize {
+        self.generator.num_workers
+    }
+
+    /// Number of host threads the pool fans out over.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The attached disk store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&DiskStore> {
+        self.store.as_ref()
+    }
+
+    /// Returns (generating and caching on first use) the trace set of
+    /// `benchmark`.
+    pub fn traces(&self, benchmark: Benchmark) -> Arc<TraceSet> {
+        self.traces.get_or_insert_with(benchmark, || {
+            Arc::new(TraceGenerator::new(benchmark.profile(), self.generator).generate())
+        })
+    }
+
+    /// Simulates `benchmark` on `design`, consulting the memory cache, then
+    /// the disk store, then running the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (cycle limit exceeded), which points
+    /// at a configuration or runtime bug rather than a user error.
+    pub fn simulate(&self, benchmark: Benchmark, design: &DesignPoint) -> Arc<SimResult> {
+        let key = JobKey::new(&self.generator, benchmark, design);
+        self.simulate_keyed(benchmark, design, key)
+    }
+
+    /// [`simulate`](Self::simulate) with the job key already derived, so
+    /// grid runs that need the key for their output rows compute it once.
+    fn simulate_keyed(
+        &self,
+        benchmark: Benchmark,
+        design: &DesignPoint,
+        key: JobKey,
+    ) -> Arc<SimResult> {
+        if let Some(cached) = self.results.get(&key) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        if let Some(store) = &self.store {
+            if let Some(result) = store.load::<SimResult>(&key) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return self.results.insert_if_absent(key, Arc::new(result));
+            }
+        }
+        let traces = self.traces(benchmark);
+        let config = design.acmp_config(self.simulated_workers());
+        let result = Arc::new(
+            Machine::new(config, &traces)
+                .run()
+                .unwrap_or_else(|e| panic!("simulation of {benchmark} on {design} failed: {e}")),
+        );
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            // A failed store write is non-fatal: the result stays in memory.
+            let _ = store.save(&key, result.as_ref());
+        }
+        self.results.insert_if_absent(key, result)
+    }
+
+    /// Runs the full `benchmarks` × `designs` grid on the pool, returning
+    /// rows in benchmark-major input order.
+    pub fn run_grid(&self, benchmarks: &[Benchmark], designs: &[DesignPoint]) -> SweepOutcome {
+        self.run_grid_with(benchmarks, designs, |_| {})
+    }
+
+    /// [`run_grid`](Self::run_grid) with a per-row completion callback.
+    ///
+    /// `on_row` is invoked from the worker thread that finished the cell,
+    /// as soon as it finishes — this is how the CLI streams live progress.
+    pub fn run_grid_with<C>(
+        &self,
+        benchmarks: &[Benchmark],
+        designs: &[DesignPoint],
+        on_row: C,
+    ) -> SweepOutcome
+    where
+        C: Fn(&SweepRow) + Sync,
+    {
+        let jobs: Vec<SweepJob> = benchmarks
+            .iter()
+            .flat_map(|&benchmark| {
+                designs.iter().map(move |design| SweepJob {
+                    benchmark,
+                    design: design.clone(),
+                })
+            })
+            .collect();
+        self.run_jobs_with(jobs, on_row)
+    }
+
+    /// Runs an explicit job list on the pool, returning rows in input order.
+    pub fn run_jobs(&self, jobs: Vec<SweepJob>) -> SweepOutcome {
+        self.run_jobs_with(jobs, |_| {})
+    }
+
+    /// [`run_jobs`](Self::run_jobs) with a per-row completion callback.
+    pub fn run_jobs_with<C>(&self, jobs: Vec<SweepJob>, on_row: C) -> SweepOutcome
+    where
+        C: Fn(&SweepRow) + Sync,
+    {
+        let keyed: Vec<(SweepJob, JobKey)> = jobs
+            .into_iter()
+            .map(|job| {
+                let key = job.key(&self.generator);
+                (job, key)
+            })
+            .collect();
+
+        // Generate traces up front — one pool job per distinct benchmark
+        // that actually needs simulating.  Cell jobs are benchmark-major,
+        // so without this a cold grid would start `min(threads, designs)`
+        // workers on the same benchmark at once and each would run the full
+        // trace generator (the cache's `make` deliberately runs unlocked).
+        // Cells already resident in memory or on disk don't need traces;
+        // a fully warm run must stay trace-generation-free.
+        let mut need_traces: Vec<Benchmark> = keyed
+            .iter()
+            .filter(|(_, key)| {
+                self.results.get(key).is_none()
+                    && !self.store.as_ref().is_some_and(|s| s.contains(key))
+            })
+            .map(|(job, _)| job.benchmark)
+            .collect();
+        need_traces.sort_unstable();
+        need_traces.dedup();
+        self.pool.run(need_traces, |&b| {
+            self.traces(b);
+        });
+
+        let (rows, pool) = self.pool.run(keyed, |(job, key)| {
+            let hex = key.hex();
+            let result = self.simulate_keyed(job.benchmark, &job.design, key.clone());
+            let row = SweepRow {
+                benchmark: job.benchmark,
+                design: job.design.clone(),
+                key: hex,
+                result,
+            };
+            on_row(&row);
+            row
+        });
+        SweepOutcome { rows, pool }
+    }
+
+    /// Runs `f` once per benchmark on the pool, preserving input order.
+    ///
+    /// This is the escape hatch for experiments that do per-benchmark work
+    /// other than plain grid simulation (trace analysis, replay models);
+    /// `f` may itself call [`simulate`](Self::simulate) and will hit the
+    /// shared caches.
+    pub fn run_per_benchmark<T, F>(&self, benchmarks: &[Benchmark], f: F) -> Vec<(Benchmark, T)>
+    where
+        T: Send,
+        F: Fn(Benchmark) -> T + Sync,
+    {
+        let (rows, _) = self.pool.run(benchmarks.to_vec(), |&b| (b, f(b)));
+        rows
+    }
+
+    /// Snapshot of cache behaviour since the engine was created.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            simulated: self.simulated.load(Ordering::Relaxed),
+            store: self.store.as_ref().map(DiskStore::stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine() -> SweepEngine {
+        SweepEngine::new(GeneratorConfig {
+            num_workers: 2,
+            parallel_instructions_per_thread: 5_000,
+            num_phases: 1,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn traces_are_cached_and_shared() {
+        let engine = small_engine();
+        let a = engine.traces(Benchmark::Cg);
+        let b = engine.traces(Benchmark::Cg);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn simulate_hits_the_memory_cache() {
+        let engine = small_engine();
+        let a = engine.simulate(Benchmark::Cg, &DesignPoint::baseline());
+        let b = engine.simulate(Benchmark::Cg, &DesignPoint::baseline());
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = engine.stats();
+        assert_eq!(stats.simulated, 1);
+        assert_eq!(stats.memory_hits, 1);
+    }
+
+    #[test]
+    fn distinct_designs_with_identical_names_never_collide() {
+        let engine = small_engine();
+        let mut shrunk = DesignPoint::baseline();
+        shrunk.icache_bytes = 8 * 1024;
+        assert_eq!(shrunk.name, DesignPoint::baseline().name);
+        let a = engine.simulate(Benchmark::Cg, &DesignPoint::baseline());
+        let b = engine.simulate(Benchmark::Cg, &shrunk);
+        assert!(!Arc::ptr_eq(&a, &b), "same-name points must key separately");
+        assert_eq!(engine.stats().simulated, 2);
+    }
+
+    #[test]
+    fn run_grid_covers_the_cross_product_in_order() {
+        let engine = small_engine().with_threads(3);
+        let benchmarks = [Benchmark::Cg, Benchmark::Is];
+        let designs = [DesignPoint::baseline(), DesignPoint::proposed()];
+        let outcome = engine.run_grid(&benchmarks, &designs);
+        assert_eq!(outcome.rows.len(), 4);
+        assert_eq!(outcome.pool.jobs, 4);
+        let cells: Vec<(Benchmark, &str)> = outcome
+            .rows
+            .iter()
+            .map(|r| (r.benchmark, r.design.name.as_str()))
+            .collect();
+        assert_eq!(
+            cells,
+            vec![
+                (Benchmark::Cg, "baseline"),
+                (Benchmark::Cg, "cpc8-16K-4lb-double"),
+                (Benchmark::Is, "baseline"),
+                (Benchmark::Is, "cpc8-16K-4lb-double"),
+            ]
+        );
+        // Re-running the same grid is served from memory.
+        let before = engine.stats().simulated;
+        engine.run_grid(&benchmarks, &designs);
+        assert_eq!(engine.stats().simulated, before);
+    }
+
+    #[test]
+    fn disk_store_round_trips_results_across_engines() {
+        let dir =
+            std::env::temp_dir().join(format!("acmp-sweep-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cold = small_engine().with_disk_store(&dir).unwrap();
+        let a = cold.simulate(Benchmark::Cg, &DesignPoint::baseline());
+        assert_eq!(cold.stats().disk_hits, 0);
+
+        // A fresh engine (fresh memory cache) over the same store.
+        let warm = small_engine().with_disk_store(&dir).unwrap();
+        let b = warm.simulate(Benchmark::Cg, &DesignPoint::baseline());
+        assert_eq!(warm.stats().disk_hits, 1);
+        assert_eq!(warm.stats().simulated, 0);
+        assert_eq!(*a, *b, "disk round trip must be lossless");
+    }
+
+    #[test]
+    fn jsonl_rows_are_deterministic() {
+        let engine = small_engine();
+        let outcome = engine.run_grid(&[Benchmark::Cg], &[DesignPoint::baseline()]);
+        let again = engine.run_grid(&[Benchmark::Cg], &[DesignPoint::baseline()]);
+        assert_eq!(outcome.rows[0].to_jsonl(), again.rows[0].to_jsonl());
+        assert!(outcome.rows[0].to_jsonl().starts_with("{\"key\":\""));
+    }
+
+    #[test]
+    fn run_per_benchmark_preserves_order() {
+        let engine = small_engine();
+        let out = engine.run_per_benchmark(&[Benchmark::Cg, Benchmark::Lu], |b| b.name().len());
+        assert_eq!(out, vec![(Benchmark::Cg, 2), (Benchmark::Lu, 2)]);
+    }
+}

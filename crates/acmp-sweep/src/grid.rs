@@ -1,0 +1,270 @@
+//! Grid specifications for the `sweep` CLI.
+//!
+//! A grid is `benchmarks × design points`, each side given as a
+//! comma-separated spec string:
+//!
+//! * benchmarks — `all`, `quick` (the six-workload CI subset), or a comma
+//!   list of benchmark names (`cg,lu,ua`);
+//! * designs — any mix of named points and generators:
+//!   * `baseline`, `proposed`, `all-shared`, `all-shared-single`,
+//!     `worker-shared-32k`
+//!   * `naive:2` — naive sharing with the given cores-per-cache degree
+//!   * `lb:8` — the baseline with the given number of line buffers
+//!   * `shared:16:4:double` — cpc = 8 sharing with `<KiB>:<line
+//!     buffers>:<single|double>`
+//!   * `figN` presets (`fig07`, `fig09`, `fig10`, `fig11`, `fig12`,
+//!     `fig13`) — exactly the design list the corresponding paper figure
+//!     sweeps.
+
+use crate::design_point::DesignPoint;
+use hpc_workloads::Benchmark;
+use sim_acmp::BusWidth;
+
+/// A parsed `benchmarks × designs` grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// The benchmarks to sweep.
+    pub benchmarks: Vec<Benchmark>,
+    /// The design points to sweep.
+    pub designs: Vec<DesignPoint>,
+}
+
+impl GridSpec {
+    /// Parses a grid from benchmark and design spec strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending token.
+    pub fn parse(benchmarks: &str, designs: &str) -> Result<Self, String> {
+        let grid = GridSpec {
+            benchmarks: parse_benchmarks(benchmarks)?,
+            designs: parse_designs(designs)?,
+        };
+        if grid.benchmarks.is_empty() {
+            return Err("benchmark spec selects nothing".to_string());
+        }
+        if grid.designs.is_empty() {
+            return Err("design spec selects nothing".to_string());
+        }
+        Ok(grid)
+    }
+
+    /// Number of (benchmark, design) cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.benchmarks.len() * self.designs.len()
+    }
+}
+
+/// The six-workload subset used by quick/CI runs.  This is the single
+/// definition: `bench_harness::Scale::Quick` delegates here.
+#[must_use]
+pub fn quick_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark::Cg,
+        Benchmark::Lu,
+        Benchmark::Ua,
+        Benchmark::CoEvp,
+        Benchmark::CoMd,
+        Benchmark::Lulesh,
+    ]
+}
+
+fn parse_benchmarks(spec: &str) -> Result<Vec<Benchmark>, String> {
+    match spec {
+        "all" => Ok(Benchmark::ALL.to_vec()),
+        "quick" => Ok(quick_benchmarks()),
+        list => list
+            .split(',')
+            .filter(|t| !t.is_empty())
+            .map(|token| {
+                Benchmark::from_name(token)
+                    .ok_or_else(|| format!("unknown benchmark `{token}` (try `all` or `quick`)"))
+            })
+            .collect(),
+    }
+}
+
+fn parse_designs(spec: &str) -> Result<Vec<DesignPoint>, String> {
+    let mut designs = Vec::new();
+    for token in spec.split(',').filter(|t| !t.is_empty()) {
+        designs.extend(parse_design_token(token)?);
+    }
+    // A preset plus an explicit point may both name the baseline; keep the
+    // first occurrence of each distinct point.
+    let mut seen: Vec<DesignPoint> = Vec::new();
+    for d in designs {
+        if !seen.contains(&d) {
+            seen.push(d);
+        }
+    }
+    Ok(seen)
+}
+
+fn parse_design_token(token: &str) -> Result<Vec<DesignPoint>, String> {
+    // Figure presets: the exact design lists the paper's figures sweep.
+    let preset = match token {
+        "fig07" => Some(vec![
+            DesignPoint::baseline(),
+            DesignPoint::naive_shared(2),
+            DesignPoint::naive_shared(4),
+            DesignPoint::naive_shared(8),
+        ]),
+        "fig08" => Some(vec![DesignPoint::baseline(), DesignPoint::naive_shared(8)]),
+        "fig09" => Some(vec![
+            DesignPoint::baseline().with_line_buffers(2),
+            DesignPoint::baseline().with_line_buffers(4),
+            DesignPoint::baseline().with_line_buffers(8),
+        ]),
+        "fig10" => Some(vec![
+            DesignPoint::baseline(),
+            DesignPoint::shared(16, 4, BusWidth::Single),
+            DesignPoint::shared(16, 8, BusWidth::Single),
+            DesignPoint::shared(16, 4, BusWidth::Double),
+        ]),
+        "fig11" => Some(vec![
+            DesignPoint::baseline(),
+            DesignPoint::shared(32, 4, BusWidth::Double),
+            DesignPoint::shared(16, 4, BusWidth::Double),
+        ]),
+        "fig12" => Some(vec![
+            DesignPoint::baseline(),
+            DesignPoint::shared(16, 4, BusWidth::Single),
+            DesignPoint::shared(16, 4, BusWidth::Double),
+            DesignPoint::shared(16, 8, BusWidth::Single),
+            DesignPoint::shared(16, 8, BusWidth::Double),
+        ]),
+        "fig13" => Some(vec![
+            DesignPoint::worker_shared_32k_double(),
+            DesignPoint::all_shared(),
+            DesignPoint::all_shared_single_bus(),
+        ]),
+        _ => None,
+    };
+    if let Some(points) = preset {
+        return Ok(points);
+    }
+
+    // Named single points.
+    let named = match token {
+        "baseline" => Some(DesignPoint::baseline()),
+        "proposed" => Some(DesignPoint::proposed()),
+        "all-shared" => Some(DesignPoint::all_shared()),
+        "all-shared-single" => Some(DesignPoint::all_shared_single_bus()),
+        "worker-shared-32k" => Some(DesignPoint::worker_shared_32k_double()),
+        _ => None,
+    };
+    if let Some(point) = named {
+        return Ok(vec![point]);
+    }
+
+    // Parameterised generators.
+    let parts: Vec<&str> = token.split(':').collect();
+    match parts.as_slice() {
+        ["naive", cpc] => {
+            let cpc: usize = cpc
+                .parse()
+                .map_err(|_| format!("bad cores-per-cache in `{token}`"))?;
+            if cpc == 0 {
+                return Err(format!("cores-per-cache must be ≥ 1 in `{token}`"));
+            }
+            Ok(vec![DesignPoint::naive_shared(cpc)])
+        }
+        ["lb", n] => {
+            let n: usize = n
+                .parse()
+                .map_err(|_| format!("bad line-buffer count in `{token}`"))?;
+            if n == 0 {
+                return Err(format!("line buffers must be ≥ 1 in `{token}`"));
+            }
+            Ok(vec![DesignPoint::baseline().with_line_buffers(n)])
+        }
+        ["shared", kib, lb, bus] => {
+            let kib: u64 = kib
+                .parse()
+                .map_err(|_| format!("bad cache size in `{token}`"))?;
+            let lb: usize = lb
+                .parse()
+                .map_err(|_| format!("bad line-buffer count in `{token}`"))?;
+            let bus = match *bus {
+                "single" => BusWidth::Single,
+                "double" => BusWidth::Double,
+                other => return Err(format!("bad bus width `{other}` in `{token}`")),
+            };
+            if kib == 0 || lb == 0 {
+                return Err(format!(
+                    "cache size and line buffers must be ≥ 1 in `{token}`"
+                ));
+            }
+            Ok(vec![DesignPoint::shared(kib, lb, bus)])
+        }
+        _ => Err(format!(
+            "unknown design spec `{token}` (named point, `naive:N`, `lb:N`, \
+             `shared:KiB:LB:single|double`, or a `figNN` preset)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_specs_parse() {
+        assert_eq!(parse_benchmarks("all").unwrap().len(), 24);
+        assert_eq!(parse_benchmarks("quick").unwrap().len(), 6);
+        assert_eq!(
+            parse_benchmarks("cg,lu").unwrap(),
+            vec![Benchmark::Cg, Benchmark::Lu]
+        );
+        assert!(parse_benchmarks("nonsense").is_err());
+    }
+
+    #[test]
+    fn design_specs_parse() {
+        let d = parse_designs("baseline,proposed").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], DesignPoint::baseline());
+        assert_eq!(d[1], DesignPoint::proposed());
+
+        let d = parse_designs("naive:4").unwrap();
+        assert_eq!(d, vec![DesignPoint::naive_shared(4)]);
+
+        let d = parse_designs("shared:16:8:double").unwrap();
+        assert_eq!(d, vec![DesignPoint::shared(16, 8, BusWidth::Double)]);
+
+        assert!(parse_designs("shared:16:8:triple").is_err());
+        assert!(parse_designs("mystery").is_err());
+        assert!(parse_designs("lb:0").is_err());
+    }
+
+    #[test]
+    fn presets_match_the_figures() {
+        assert_eq!(parse_designs("fig07").unwrap().len(), 4);
+        assert_eq!(parse_designs("fig09").unwrap().len(), 3);
+        assert_eq!(parse_designs("fig12").unwrap().len(), 5);
+        // fig09 sweeps line buffers on the baseline.
+        let d = parse_designs("fig09").unwrap();
+        assert_eq!(d[0].line_buffers, 2);
+        assert_eq!(d[2].line_buffers, 8);
+    }
+
+    #[test]
+    fn duplicate_points_are_deduplicated() {
+        // fig10 and fig12 share three points; the union keeps one copy each.
+        let merged = parse_designs("fig10,fig12").unwrap();
+        let fig10 = parse_designs("fig10").unwrap();
+        let fig12 = parse_designs("fig12").unwrap();
+        assert!(merged.len() < fig10.len() + fig12.len());
+        for d in fig10.iter().chain(&fig12) {
+            assert!(merged.contains(d));
+        }
+    }
+
+    #[test]
+    fn grid_reports_cell_count() {
+        let g = GridSpec::parse("cg,lu", "fig09").unwrap();
+        assert_eq!(g.cells(), 6);
+        assert!(GridSpec::parse("", "fig09").is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Sweep jobs and their content-addressed keys.
+
+use crate::design_point::DesignPoint;
+use crate::stable_hash;
+use hpc_workloads::{Benchmark, GeneratorConfig};
+use serde_json::json;
+
+/// One unit of work: simulate `benchmark` on `design`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepJob {
+    /// The workload to simulate.
+    pub benchmark: Benchmark,
+    /// The machine configuration to simulate it on.
+    pub design: DesignPoint,
+}
+
+impl SweepJob {
+    /// Builds the content-addressed key of this job under `generator`.
+    #[must_use]
+    pub fn key(&self, generator: &GeneratorConfig) -> JobKey {
+        JobKey::new(generator, self.benchmark, &self.design)
+    }
+}
+
+impl std::fmt::Display for SweepJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} × {}", self.benchmark, self.design)
+    }
+}
+
+/// Content-addressed identity of a simulation: the canonical JSON encoding
+/// of (generator config, benchmark, full design point).
+///
+/// Earlier revisions keyed the result cache on `(Benchmark, String)` using
+/// [`DesignPoint::name`], which is lossy — two distinct points with the same
+/// label would silently collide.  A `JobKey` hashes and compares the
+/// *entire* canonical serialized form, so distinct points can never alias,
+/// and the digest doubles as the on-disk store filename.
+#[derive(Debug, Clone)]
+pub struct JobKey {
+    canonical: String,
+    digest: u64,
+}
+
+impl JobKey {
+    /// Derives the key for simulating `benchmark` on `design` with traces
+    /// from `generator`.
+    #[must_use]
+    pub fn new(generator: &GeneratorConfig, benchmark: Benchmark, design: &DesignPoint) -> Self {
+        let canonical = stable_hash::canonical_json(&json!({
+            "generator": generator,
+            "benchmark": benchmark,
+            "design": design,
+        }));
+        let digest = stable_hash::fnv1a(canonical.as_bytes());
+        JobKey { canonical, digest }
+    }
+
+    /// The canonical JSON this key was derived from.
+    #[must_use]
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The 64-bit stable digest of the canonical form.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The digest as the fixed-width hex string used for store filenames
+    /// and JSONL `key` columns.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        stable_hash::hex(self.digest)
+    }
+}
+
+// Equality and hashing go through the full canonical form, not the digest:
+// a (vanishingly unlikely) digest collision must not merge two distinct
+// jobs in the in-memory cache.
+impl PartialEq for JobKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical == other.canonical
+    }
+}
+
+impl Eq for JobKey {}
+
+impl std::hash::Hash for JobKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Feed the precomputed stable digest; cheaper than rehashing the
+        // canonical string and just as well distributed.
+        state.write_u64(self.digest);
+    }
+}
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> GeneratorConfig {
+        GeneratorConfig::small()
+    }
+
+    #[test]
+    fn equal_inputs_give_equal_keys() {
+        let a = JobKey::new(&generator(), Benchmark::Cg, &DesignPoint::baseline());
+        let b = JobKey::new(&generator(), Benchmark::Cg, &DesignPoint::baseline());
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.hex(), b.hex());
+    }
+
+    #[test]
+    fn same_name_different_parameters_do_not_collide() {
+        // The historical failure mode: identical labels, different machines.
+        let mut a = DesignPoint::baseline();
+        let mut b = DesignPoint::baseline();
+        a.name = "point".to_string();
+        b.name = "point".to_string();
+        b.icache_bytes = 16 * 1024;
+        let ka = JobKey::new(&generator(), Benchmark::Cg, &a);
+        let kb = JobKey::new(&generator(), Benchmark::Cg, &b);
+        assert_ne!(ka, kb, "lossy name-based keys must not come back");
+    }
+
+    #[test]
+    fn key_covers_generator_and_benchmark() {
+        let design = DesignPoint::proposed();
+        let base = JobKey::new(&generator(), Benchmark::Cg, &design);
+        let other_bench = JobKey::new(&generator(), Benchmark::Lu, &design);
+        let other_gen = JobKey::new(&generator().with_seed(99), Benchmark::Cg, &design);
+        assert_ne!(base, other_bench);
+        assert_ne!(base, other_gen);
+    }
+
+    #[test]
+    fn hex_is_filename_safe() {
+        let k = JobKey::new(&generator(), Benchmark::Cg, &DesignPoint::baseline());
+        assert_eq!(k.hex().len(), 16);
+        assert!(k.hex().chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(k.to_string(), k.hex());
+    }
+}

@@ -1,0 +1,56 @@
+//! `acmp-sweep` — a parallel, sharded design-space exploration engine with
+//! a persistent result store.
+//!
+//! The paper's conclusions come from sweeping (benchmark × design point)
+//! grids: shared-I$ degree, cache size, line buffers, bus bandwidth
+//! (Figs. 7–13).  This crate industrialises that workload and is the
+//! execution engine behind every figure module, example and bench in the
+//! workspace:
+//!
+//! * [`WorkStealingPool`] — fans simulation jobs out across `std::thread`
+//!   workers with per-worker deques and a global injector, so unbalanced
+//!   grids keep every core busy;
+//! * [`ShardedMap`] — the in-memory result cache, split across
+//!   independently locked shards instead of one global mutex;
+//! * [`DiskStore`] — a content-addressed on-disk store (stable hash of
+//!   generator config + benchmark + design point) that makes repeated runs
+//!   warm-start across processes;
+//! * [`SweepEngine`] — ties the three together behind
+//!   [`simulate`](SweepEngine::simulate) / [`run_grid`](SweepEngine::run_grid);
+//! * [`GridSpec`] — the `benchmarks × designs` spec grammar of the `sweep`
+//!   CLI binary (`cargo run -p acmp-sweep --release --bin sweep`).
+//!
+//! [`DesignPoint`] (the machine configurations the paper evaluates) lives
+//! here too, so the engine, the CLI and the spec grammar can name design
+//! points without depending on the figure layer above.
+
+pub mod design_point;
+pub mod engine;
+pub mod grid;
+pub mod job;
+pub mod scheduler;
+pub mod sharded;
+pub mod stable_hash;
+pub mod store;
+
+pub use design_point::DesignPoint;
+pub use engine::{EngineStats, SweepEngine, SweepOutcome, SweepRow};
+pub use grid::GridSpec;
+pub use job::{JobKey, SweepJob};
+pub use scheduler::{PoolStats, WorkStealingPool};
+pub use sharded::ShardedMap;
+pub use store::{DiskStore, StoreStats};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DesignPoint>();
+        assert_send_sync::<SweepEngine>();
+        assert_send_sync::<DiskStore>();
+        assert_send_sync::<ShardedMap<u64, u64>>();
+    }
+}

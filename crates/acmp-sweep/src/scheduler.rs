@@ -1,0 +1,234 @@
+//! A work-stealing thread pool for simulation jobs.
+//!
+//! Sweep grids are embarrassingly parallel but wildly unbalanced: a
+//! paper-scale LULESH simulation runs an order of magnitude longer than a
+//! tiny CG one, and a static split across threads leaves most of the pool
+//! idle behind the slowest slice.  The pool therefore gives every worker
+//! its own deque, seeded round-robin; a worker pops from the back of its
+//! own deque (LIFO, cache-warm) and, when empty, steals from the front of
+//! the global injector and then from the front of its siblings' deques
+//! (FIFO, the oldest — and statistically largest remaining — work).
+//!
+//! Built entirely on `std::thread` plus the `parking_lot` shim: the
+//! environment is offline, so no rayon/crossbeam.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a finished pool run went, for logs and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads the pool ran with.
+    pub workers: usize,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Jobs a worker took from a sibling's deque rather than its own.
+    pub steals: u64,
+    /// Jobs taken from the global injector after the local deque drained.
+    pub injector_pops: u64,
+}
+
+/// A bounded work-stealing executor.
+///
+/// The pool is created per run; workers are scoped threads, so borrowed job
+/// data needs no `'static` bound.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkStealingPool {
+    workers: usize,
+}
+
+impl WorkStealingPool {
+    /// A pool with `workers` threads (at least one).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        WorkStealingPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the machine.
+    #[must_use]
+    pub fn host_sized() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+        )
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` over every job, returning results in input order plus the
+    /// run's scheduling statistics.
+    ///
+    /// `f` may be called from any worker thread; results are collected
+    /// per-worker and merged once at the end, so the only shared hot state
+    /// is the deques themselves.
+    pub fn run<J, R, F>(&self, jobs: Vec<J>, f: F) -> (Vec<R>, PoolStats)
+    where
+        J: Send + Sync,
+        R: Send,
+        F: Fn(&J) -> R + Sync,
+    {
+        let n_jobs = jobs.len();
+        let workers = self.workers.min(n_jobs.max(1));
+        let steals = AtomicU64::new(0);
+        let injector_pops = AtomicU64::new(0);
+
+        // Job payloads live in a flat slice; the deques move indices around.
+        let slots: Vec<Mutex<Option<R>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+
+        // Seed: the first `workers` jobs go one to each local deque (so every
+        // thread starts immediately), the rest to the injector in order.
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        let injector: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
+        {
+            let seeded = workers.min(n_jobs);
+            for (deque, idx) in deques.iter().zip(0..seeded) {
+                deque.lock().push_back(idx);
+            }
+            let mut inj = injector.lock();
+            for idx in seeded..n_jobs {
+                inj.push_back(idx);
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let jobs = &jobs;
+                let slots = &slots;
+                let deques = &deques;
+                let injector = &injector;
+                let steals = &steals;
+                let injector_pops = &injector_pops;
+                let f = &f;
+                scope.spawn(move || loop {
+                    // 1. Own deque, newest first.
+                    let mut job = deques[me].lock().pop_back();
+                    // 2. Global injector, oldest first.
+                    if job.is_none() {
+                        job = injector.lock().pop_front();
+                        if job.is_some() {
+                            injector_pops.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // 3. Steal from siblings, oldest first.
+                    if job.is_none() {
+                        for other in 1..workers {
+                            let victim = (me + other) % workers;
+                            job = deques[victim].lock().pop_front();
+                            if job.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    match job {
+                        Some(idx) => {
+                            let out = f(&jobs[idx]);
+                            *slots[idx].lock() = Some(out);
+                        }
+                        // Every queue was observed empty.  All jobs were
+                        // enqueued before the workers started and jobs never
+                        // spawn jobs, so queues only drain: nothing will
+                        // reappear and this worker can exit.  Siblings still
+                        // executing their last job finish it before they
+                        // exit, so every slot is filled by scope end —
+                        // idle workers must not spin against the running
+                        // workers' locks while the unbalanced tail drains.
+                        None => break,
+                    }
+                });
+            }
+        });
+
+        let results: Vec<R> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("scoped pool finished with every job executed")
+            })
+            .collect();
+        (
+            results,
+            PoolStats {
+                workers,
+                jobs: n_jobs,
+                steals: steals.load(Ordering::Relaxed),
+                injector_pops: injector_pops.load(Ordering::Relaxed),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let pool = WorkStealingPool::new(4);
+        let jobs: Vec<u64> = (0..100).collect();
+        let (out, stats) = pool.run(jobs, |j| j * 2);
+        assert_eq!(out, (0..100).map(|j| j * 2).collect::<Vec<_>>());
+        assert_eq!(stats.jobs, 100);
+        assert_eq!(stats.workers, 4);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let pool = WorkStealingPool::new(8);
+        let calls = AtomicUsize::new(0);
+        let (out, _) = pool.run((0..257).collect(), |j: &usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *j
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn unbalanced_jobs_get_stolen() {
+        // One long job pinned at index 0 (the first worker's deque), many
+        // short ones behind it in the injector: the other workers must
+        // drain the injector while worker 0 is busy.
+        let pool = WorkStealingPool::new(4);
+        let jobs: Vec<u64> = (0..64).collect();
+        let (out, stats) = pool.run(jobs, |&j| {
+            if j == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            j
+        });
+        assert_eq!(out.len(), 64);
+        assert!(
+            stats.injector_pops > 0,
+            "short jobs should have been taken from the injector"
+        );
+    }
+
+    #[test]
+    fn single_worker_and_empty_input_work() {
+        let pool = WorkStealingPool::new(1);
+        let (out, stats) = pool.run(vec![1, 2, 3], |j: &i32| j + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(stats.steals, 0, "one worker has nobody to steal from");
+
+        let (empty, stats) = pool.run(Vec::<i32>::new(), |j| *j);
+        assert!(empty.is_empty());
+        assert_eq!(stats.jobs, 0);
+    }
+
+    #[test]
+    fn zero_requested_workers_clamps_to_one() {
+        let pool = WorkStealingPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! A sharded concurrent hash map.
+//!
+//! The previous experiment layer funnelled every trace and result lookup
+//! through one global `Mutex<HashMap>`, so a sweep's worker threads
+//! serialized on the cache even though the simulations themselves are
+//! independent.  `ShardedMap` splits the table into a fixed power-of-two
+//! number of shards, each behind its own `parking_lot::Mutex`; threads only
+//! contend when their keys land in the same shard.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+
+/// Number of shards.  A power of two so shard selection is a mask; 16 is
+/// comfortably above the worker counts this workspace runs with.
+const NUM_SHARDS: usize = 16;
+
+/// A hash map split across independently locked shards.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    hasher: RandomState,
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        ShardedMap {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & (NUM_SHARDS - 1)]
+    }
+
+    /// Returns a clone of the value under `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().get(key).cloned()
+    }
+
+    /// Inserts `value` under `key` if the slot is empty and returns the
+    /// resident value (the existing one wins a race).
+    pub fn insert_if_absent(&self, key: K, value: V) -> V {
+        let shard = self.shard(&key);
+        let mut guard = shard.lock();
+        guard.entry(key).or_insert(value).clone()
+    }
+
+    /// Returns the cached value under `key`, computing and caching it with
+    /// `make` on a miss.
+    ///
+    /// `make` runs *outside* the shard lock so an expensive computation
+    /// (trace generation, a simulation) never blocks unrelated keys.  Two
+    /// threads racing on the same key may both compute; the first insert
+    /// wins and both observe the same resident value.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, make: F) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let value = make();
+        self.insert_if_absent(key, value)
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn insert_and_get_round_trip() {
+        let map: ShardedMap<u64, String> = ShardedMap::new();
+        assert!(map.is_empty());
+        for i in 0..100u64 {
+            map.insert_if_absent(i, format!("v{i}"));
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.get(&42).as_deref(), Some("v42"));
+        assert_eq!(map.get(&1000), None);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let map: ShardedMap<u8, u8> = ShardedMap::new();
+        assert_eq!(map.insert_if_absent(1, 10), 10);
+        assert_eq!(map.insert_if_absent(1, 20), 10);
+        assert_eq!(map.get(&1), Some(10));
+    }
+
+    #[test]
+    fn get_or_insert_with_computes_once_when_cached() {
+        let map: ShardedMap<u8, u8> = ShardedMap::new();
+        let calls = AtomicUsize::new(0);
+        let mut make = || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            7
+        };
+        assert_eq!(map.get_or_insert_with(1, &mut make), 7);
+        assert_eq!(map.get_or_insert_with(1, &mut make), 7);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_converge() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let map = &map;
+                scope.spawn(move || {
+                    for i in 0..64 {
+                        map.get_or_insert_with(i, || t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 64);
+        // Every key has exactly one resident value, whoever won.
+        for i in 0..64 {
+            let v = map.get(&i).unwrap();
+            assert_eq!(v % 1000, i);
+        }
+    }
+}

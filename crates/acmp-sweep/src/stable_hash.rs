@@ -1,0 +1,70 @@
+//! A stable, platform-independent content hash.
+//!
+//! Job keys and on-disk store filenames must be identical across runs,
+//! processes and machines, so `std::hash::Hasher` (randomly seeded, and
+//! explicitly not stable across releases) is out.  This module implements
+//! 64-bit FNV-1a over the canonical JSON encoding of a value: the serde
+//! shim's [`Value`] printer is deterministic (object fields keep insertion
+//! order, floats use shortest round-trip formatting), so equal values always
+//! produce equal digests.
+
+use serde::Serialize;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut state = FNV_OFFSET;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The canonical (deterministic, compact) JSON encoding of a value.
+#[must_use]
+pub fn canonical_json<T: Serialize + ?Sized>(value: &T) -> String {
+    value.serialize().to_string()
+}
+
+/// Digest of a serialisable value: FNV-1a over its canonical JSON.
+#[must_use]
+pub fn digest<T: Serialize + ?Sized>(value: &T) -> u64 {
+    fnv1a(canonical_json(value).as_bytes())
+}
+
+/// Formats a digest the way the on-disk store names its entries.
+#[must_use]
+pub fn hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn digest_is_stable_across_calls() {
+        let a = digest(&vec![1u64, 2, 3]);
+        let b = digest(&vec![1u64, 2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, digest(&vec![1u64, 2, 4]));
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex(0).len(), 16);
+        assert_eq!(hex(u64::MAX), "ffffffffffffffff");
+    }
+}

@@ -1,0 +1,209 @@
+//! The persistent, content-addressed result store.
+//!
+//! Every simulation result is written under the hex digest of its
+//! [`JobKey`](crate::JobKey), as one JSON file in the store directory
+//! (default `target/sweep-cache/`).  A later run — any process, any worker
+//! count — that derives the same key is served from disk instead of
+//! re-simulating, which turns repeated figure runs into warm starts.
+//!
+//! Entries are self-verifying: the file embeds the full canonical key next
+//! to the value, and a load whose embedded key does not match the request
+//! (a digest collision, or a stale file from an incompatible revision) is
+//! treated as a miss and overwritten.  Writes go to a process-unique
+//! temporary file first and are atomically renamed into place, so
+//! concurrent sweeps never observe torn entries.
+
+use crate::job::JobKey;
+use serde::{Deserialize, Serialize, Value};
+use serde_json::json;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing how a store behaved over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Loads served from disk.
+    pub hits: u64,
+    /// Loads that found no (valid) entry.
+    pub misses: u64,
+    /// Entries written.
+    pub writes: u64,
+}
+
+/// An on-disk key → value store addressed by stable content hash.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskStore {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// The default store location: `target/sweep-cache` under the current
+    /// directory, overridable via the `ACMP_SWEEP_CACHE` environment
+    /// variable.
+    #[must_use]
+    pub fn default_root() -> PathBuf {
+        std::env::var_os("ACMP_SWEEP_CACHE")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target").join("sweep-cache"))
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: &JobKey) -> PathBuf {
+        self.root.join(format!("{}.json", key.hex()))
+    }
+
+    /// Whether an entry file exists for `key` (without reading or verifying
+    /// it, and without touching the hit/miss counters).  A cheap pre-check
+    /// for schedulers deciding what work a grid still needs.
+    #[must_use]
+    pub fn contains(&self, key: &JobKey) -> bool {
+        self.entry_path(key).is_file()
+    }
+
+    /// Loads the value stored under `key`, verifying the embedded canonical
+    /// key.  Any malformed, mismatched or unreadable entry counts as a miss.
+    pub fn load<V: Deserialize>(&self, key: &JobKey) -> Option<V> {
+        let loaded = self.try_load(key);
+        match loaded {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        loaded
+    }
+
+    fn try_load<V: Deserialize>(&self, key: &JobKey) -> Option<V> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let envelope: Value = serde_json::from_str(&text).ok()?;
+        let fields = envelope.as_object()?;
+        let stored_key = serde::get_field(fields, "key").ok()?.as_str()?;
+        if stored_key != key.canonical() {
+            return None;
+        }
+        let value = serde::get_field(fields, "value").ok()?;
+        V::deserialize(value).ok()
+    }
+
+    /// Persists `value` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O or serialisation error; callers may treat a failed
+    /// store write as non-fatal (the result is still in memory).
+    pub fn save<V: Serialize>(&self, key: &JobKey, value: &V) -> Result<(), serde::Error> {
+        let envelope = json!({
+            "key": key.canonical(),
+            "value": value,
+        });
+        let final_path = self.entry_path(key);
+        let tmp_path = self
+            .root
+            .join(format!(".{}.tmp.{}", key.hex(), std::process::id()));
+        std::fs::write(&tmp_path, serde_json::to_string(&envelope)?)?;
+        std::fs::rename(&tmp_path, &final_path).map_err(serde::Error::from)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Lifetime counters of this store handle.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_point::DesignPoint;
+    use hpc_workloads::{Benchmark, GeneratorConfig};
+
+    fn temp_store(tag: &str) -> DiskStore {
+        let dir = std::env::temp_dir().join(format!(
+            "acmp-sweep-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskStore::open(dir).expect("temp store")
+    }
+
+    fn key(benchmark: Benchmark) -> JobKey {
+        JobKey::new(
+            &GeneratorConfig::small(),
+            benchmark,
+            &DesignPoint::baseline(),
+        )
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let store = temp_store("roundtrip");
+        let k = key(Benchmark::Cg);
+        assert_eq!(store.load::<Vec<u64>>(&k), None);
+        store.save(&k, &vec![1u64, 2, 3]).unwrap();
+        assert_eq!(store.load::<Vec<u64>>(&k), Some(vec![1, 2, 3]));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+    }
+
+    #[test]
+    fn entries_survive_reopening() {
+        let store = temp_store("reopen");
+        let k = key(Benchmark::Lu);
+        store.save(&k, &7u64).unwrap();
+        let reopened = DiskStore::open(store.root().to_path_buf()).unwrap();
+        assert_eq!(reopened.load::<u64>(&k), Some(7));
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_entries_are_misses() {
+        let store = temp_store("corrupt");
+        let k = key(Benchmark::Ep);
+        store.save(&k, &1u64).unwrap();
+
+        // Corrupt the file body.
+        let path = store.root().join(format!("{}.json", k.hex()));
+        std::fs::write(&path, "not json at all").unwrap();
+        assert_eq!(store.load::<u64>(&k), None);
+
+        // A syntactically valid envelope whose embedded key differs (a
+        // simulated digest collision) must also be rejected.
+        std::fs::write(&path, "{\"key\":\"something else\",\"value\":1}").unwrap();
+        assert_eq!(store.load::<u64>(&k), None);
+    }
+
+    #[test]
+    fn distinct_keys_use_distinct_files() {
+        let store = temp_store("distinct");
+        store.save(&key(Benchmark::Cg), &1u64).unwrap();
+        store.save(&key(Benchmark::Lu), &2u64).unwrap();
+        assert_eq!(store.load::<u64>(&key(Benchmark::Cg)), Some(1));
+        assert_eq!(store.load::<u64>(&key(Benchmark::Lu)), Some(2));
+    }
+}

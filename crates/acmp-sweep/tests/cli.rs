@@ -1,0 +1,124 @@
+//! End-to-end tests of the `sweep` CLI binary: determinism across worker
+//! counts and warm starts from the on-disk store.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sweep_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sweep")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sweep-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Run {
+    stdout: String,
+    stderr: String,
+}
+
+fn run_sweep<S: AsRef<std::ffi::OsStr> + std::fmt::Debug>(args: &[S]) -> Run {
+    let output = Command::new(sweep_bin())
+        .args(args)
+        .output()
+        .expect("sweep binary runs");
+    assert!(
+        output.status.success(),
+        "sweep {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    Run {
+        stdout: String::from_utf8(output.stdout).unwrap(),
+        stderr: String::from_utf8(output.stderr).unwrap(),
+    }
+}
+
+/// JSONL lines sorted by the embedded job key (each line starts with
+/// `{"key":"...`, so a plain string sort orders by key).
+fn sorted_rows(stdout: &str) -> Vec<&str> {
+    let mut rows: Vec<&str> = stdout.lines().collect();
+    rows.sort_unstable();
+    rows
+}
+
+#[test]
+fn worker_count_does_not_change_the_output() {
+    let dir = temp_dir("workers");
+    // Separate cache dirs so both runs simulate from cold.
+    let args = |workers: &str, cache: &str| -> Vec<String> {
+        [
+            "--benchmarks",
+            "cg,lu",
+            "--designs",
+            "baseline,naive:2",
+            "--quiet",
+            "--workers",
+            workers,
+            "--cache-dir",
+            cache,
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+    };
+    let one = run_sweep(&args("1", dir.join("c1").to_str().unwrap()));
+    let four = run_sweep(&args("4", dir.join("c4").to_str().unwrap()));
+    assert_eq!(sorted_rows(&one.stdout), sorted_rows(&four.stdout));
+    assert_eq!(one.stdout.lines().count(), 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_run_is_served_from_the_disk_store() {
+    let dir = temp_dir("warm");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().unwrap();
+    let args = [
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--quiet",
+        "--cache-dir",
+        cache,
+    ];
+
+    let cold = run_sweep(&args);
+    assert!(
+        cold.stderr.contains("disk-hits 0"),
+        "cold run must simulate: {}",
+        cold.stderr
+    );
+
+    let warm = run_sweep(&args);
+    assert!(
+        warm.stderr.contains("simulated 0"),
+        "warm run must not simulate: {}",
+        warm.stderr
+    );
+    assert!(
+        warm.stderr.contains("disk-hits 3"),
+        "warm run must hit the store for every cell: {}",
+        warm.stderr
+    );
+    assert_eq!(
+        sorted_rows(&cold.stdout),
+        sorted_rows(&warm.stdout),
+        "warm rows must be byte-identical to cold rows"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_specs_exit_nonzero_with_a_message() {
+    let output = Command::new(sweep_bin())
+        .args(["--designs", "not-a-design", "--no-disk-cache"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("not-a-design"), "{stderr}");
+}

@@ -1,0 +1,102 @@
+//! `sweep_throughput`: 1-worker vs N-worker wall time on a small grid.
+//!
+//! Times the sweep engine end-to-end (trace generation + simulation +
+//! caching) on the quick-benchmark × Fig. 7 grid, once pinned to a single
+//! pool thread and once at host parallelism, and writes the measured
+//! trajectory to `BENCH_sweep.json` at the workspace root so the speedup is
+//! tracked across revisions.
+
+use acmp_sweep::{DesignPoint, SweepEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpc_workloads::{Benchmark, GeneratorConfig};
+use serde_json::json;
+use std::time::Instant;
+
+const BENCHMARKS: [Benchmark; 6] = [
+    Benchmark::Cg,
+    Benchmark::Lu,
+    Benchmark::Ua,
+    Benchmark::CoEvp,
+    Benchmark::CoMd,
+    Benchmark::Lulesh,
+];
+
+fn generator() -> GeneratorConfig {
+    GeneratorConfig {
+        num_workers: 4,
+        parallel_instructions_per_thread: 10_000,
+        num_phases: 1,
+        seed: 42,
+    }
+}
+
+fn designs() -> Vec<DesignPoint> {
+    vec![
+        DesignPoint::baseline(),
+        DesignPoint::naive_shared(2),
+        DesignPoint::naive_shared(4),
+        DesignPoint::naive_shared(8),
+    ]
+}
+
+/// Runs the full grid on a fresh (cold-cache, no disk store) engine.
+fn run_grid(threads: usize) -> usize {
+    let engine = SweepEngine::new(generator()).with_threads(threads);
+    engine.run_grid(&BENCHMARKS, &designs()).rows.len()
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Mean wall time of `samples` cold runs, in milliseconds.
+fn measure_ms(threads: usize, samples: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..samples {
+        run_grid(threads);
+    }
+    start.elapsed().as_secs_f64() * 1e3 / f64::from(samples)
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let host = host_threads();
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.bench_function("workers/1", |b| b.iter(|| run_grid(1)));
+    group.bench_function(format!("workers/{host}"), |b| b.iter(|| run_grid(host)));
+    group.finish();
+
+    // Trajectory file: an explicit measurement (independent of the bench
+    // harness's sample accounting) written where CI and later revisions can
+    // diff it.
+    let samples = 3;
+    let serial_ms = measure_ms(1, samples);
+    let parallel_ms = measure_ms(host, samples);
+    let jobs = BENCHMARKS.len() * designs().len();
+    let report = json!({
+        "bench": "sweep_throughput",
+        "grid_jobs": jobs,
+        "samples": samples,
+        "workers_serial": 1,
+        "workers_parallel": host,
+        "serial_ms": serial_ms,
+        "parallel_ms": parallel_ms,
+        "speedup": serial_ms / parallel_ms,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => println!(
+            "sweep_throughput: {jobs} jobs — {serial_ms:.1} ms serial, {parallel_ms:.1} ms on {host} workers ({:.2}x), trajectory in BENCH_sweep.json",
+            serial_ms / parallel_ms
+        ),
+        Err(e) => eprintln!("sweep_throughput: could not write {path}: {e}"),
+    }
+}
+
+criterion_group! {
+    name = sweep;
+    config = Criterion::default().sample_size(3);
+    targets = bench_sweep_throughput,
+}
+criterion_main!(sweep);

@@ -5,6 +5,7 @@
 //! evaluation; the Criterion benches in `benches/figures.rs` time the
 //! underlying simulations.
 
+use acmp_sweep::SweepEngine;
 use hpc_workloads::{Benchmark, GeneratorConfig};
 use shared_icache::ExperimentContext;
 
@@ -41,23 +42,32 @@ impl Scale {
         }
     }
 
-    /// Builds an experiment context at this scale.
+    /// Builds an experiment context at this scale (memory caches only).
     pub fn context(self) -> ExperimentContext {
         ExperimentContext::new(self.generator())
     }
 
-    /// The benchmark list used at this scale (a representative subset for
-    /// `Quick`, all 24 workloads for `Paper`).
+    /// Builds a sweep engine at this scale (memory caches only).
+    pub fn engine(self) -> SweepEngine {
+        SweepEngine::new(self.generator())
+    }
+
+    /// Builds an experiment context backed by the default on-disk result
+    /// store (`target/sweep-cache`, or `$ACMP_SWEEP_CACHE`), so repeated
+    /// harness runs warm-start.  Falls back to a memory-only context if the
+    /// store directory cannot be created.
+    pub fn warm_context(self) -> ExperimentContext {
+        match self.engine().with_default_disk_store() {
+            Ok(engine) => ExperimentContext::from_engine(engine),
+            Err(_) => self.context(),
+        }
+    }
+
+    /// The benchmark list used at this scale (the `quick` subset shared
+    /// with the sweep CLI, or all 24 workloads for `Paper`).
     pub fn benchmarks(self) -> Vec<Benchmark> {
         match self {
-            Scale::Quick => vec![
-                Benchmark::Cg,
-                Benchmark::Lu,
-                Benchmark::Ua,
-                Benchmark::CoEvp,
-                Benchmark::CoMd,
-                Benchmark::Lulesh,
-            ],
+            Scale::Quick => acmp_sweep::grid::quick_benchmarks(),
             Scale::Paper => Benchmark::ALL.to_vec(),
         }
     }

@@ -1,33 +1,43 @@
-//! Experiment execution: trace generation, simulation, caching and
-//! parallel sweeps.
+//! Experiment execution, backed by the `acmp-sweep` engine.
+//!
+//! [`ExperimentContext`] is the figure modules' view of the sweep engine:
+//! trace generation, the sharded in-memory result cache, the optional
+//! content-addressed on-disk store and the work-stealing thread pool all
+//! live in [`acmp_sweep::SweepEngine`]; this type adds the grid-prefetch
+//! idiom the figure modules share (sweep the full benchmark × design grid
+//! at job granularity, then read the now-warm cache while assembling rows).
 
 use crate::design_point::DesignPoint;
-use hpc_workloads::{Benchmark, GeneratorConfig, TraceGenerator};
-use parking_lot::Mutex;
-use sim_acmp::{Machine, SimResult};
+use acmp_sweep::{EngineStats, SweepEngine, SweepOutcome};
+use hpc_workloads::{Benchmark, GeneratorConfig};
+use sim_acmp::SimResult;
 use sim_trace::TraceSet;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Shared state for a set of experiments: traces are generated once per
 /// benchmark and simulation results are cached per (benchmark, design
 /// point), so the figure modules can be composed without repeating work.
+///
+/// Results are keyed on the content hash of the *entire* design point (plus
+/// benchmark and generator config), never on the design's display name, so
+/// distinct points can never collide.
 #[derive(Debug)]
 pub struct ExperimentContext {
-    generator: GeneratorConfig,
-    traces: Mutex<HashMap<Benchmark, Arc<TraceSet>>>,
-    results: Mutex<HashMap<(Benchmark, String), Arc<SimResult>>>,
+    engine: SweepEngine,
 }
 
 impl ExperimentContext {
     /// Creates a context that generates traces with `generator`.
     pub fn new(generator: GeneratorConfig) -> Self {
-        generator.validate();
         ExperimentContext {
-            generator,
-            traces: Mutex::new(HashMap::new()),
-            results: Mutex::new(HashMap::new()),
+            engine: SweepEngine::new(generator),
         }
+    }
+
+    /// Wraps an already-configured engine (custom thread count, disk
+    /// store).
+    pub fn from_engine(engine: SweepEngine) -> Self {
+        ExperimentContext { engine }
     }
 
     /// A context at the scale used by the figure harnesses (eight workers).
@@ -35,26 +45,37 @@ impl ExperimentContext {
         Self::new(GeneratorConfig::paper())
     }
 
+    /// Attaches the content-addressed on-disk result store rooted at
+    /// `root`, making repeated runs warm-start across processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the store directory cannot be created.
+    pub fn with_disk_cache(self, root: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        Ok(ExperimentContext {
+            engine: self.engine.with_disk_store(root)?,
+        })
+    }
+
+    /// The underlying sweep engine.
+    pub fn engine(&self) -> &SweepEngine {
+        &self.engine
+    }
+
     /// The trace-generation configuration in use.
     pub fn generator(&self) -> &GeneratorConfig {
-        &self.generator
+        self.engine.generator()
     }
 
     /// Number of worker cores simulated.
     pub fn num_workers(&self) -> usize {
-        self.generator.num_workers
+        self.engine.simulated_workers()
     }
 
     /// Returns (generating and caching on first use) the trace set of
     /// `benchmark`.
     pub fn traces(&self, benchmark: Benchmark) -> Arc<TraceSet> {
-        if let Some(t) = self.traces.lock().get(&benchmark) {
-            return Arc::clone(t);
-        }
-        let generated =
-            Arc::new(TraceGenerator::new(benchmark.profile(), self.generator).generate());
-        let mut guard = self.traces.lock();
-        Arc::clone(guard.entry(benchmark).or_insert(generated))
+        self.engine.traces(benchmark)
     }
 
     /// Simulates `benchmark` on `design`, caching the result.
@@ -64,65 +85,52 @@ impl ExperimentContext {
     /// Panics if the simulation fails (cycle limit exceeded), which points
     /// at a configuration or runtime bug rather than a user error.
     pub fn simulate(&self, benchmark: Benchmark, design: &DesignPoint) -> Arc<SimResult> {
-        let key = (benchmark, design.name.clone());
-        if let Some(r) = self.results.lock().get(&key) {
-            return Arc::clone(r);
-        }
-        let traces = self.traces(benchmark);
-        let config = design.acmp_config(self.num_workers());
-        let result = Arc::new(
-            Machine::new(config, &traces)
-                .run()
-                .unwrap_or_else(|e| panic!("simulation of {benchmark} on {design} failed: {e}")),
-        );
-        let mut guard = self.results.lock();
-        Arc::clone(guard.entry(key).or_insert(result))
+        self.engine.simulate(benchmark, design)
     }
 
-    /// Simulates every benchmark in `benchmarks` on `design`, running the
-    /// per-benchmark simulations on worker threads.
+    /// Runs the full `benchmarks` × `designs` grid on the work-stealing
+    /// pool and returns every cell.
+    ///
+    /// This is the figure modules' prefetch idiom: one call fans the grid
+    /// out at (benchmark, design) job granularity — rather than only across
+    /// benchmarks — and subsequent [`simulate`](Self::simulate) calls for
+    /// those cells are cache hits.
+    pub fn sweep(&self, benchmarks: &[Benchmark], designs: &[DesignPoint]) -> SweepOutcome {
+        self.engine.run_grid(benchmarks, designs)
+    }
+
+    /// Simulates every benchmark in `benchmarks` on `design` on the pool,
+    /// preserving input order.
     pub fn simulate_all(
         &self,
         benchmarks: &[Benchmark],
         design: &DesignPoint,
     ) -> Vec<(Benchmark, Arc<SimResult>)> {
-        self.run_parallel(benchmarks, |b| self.simulate(b, design))
+        self.sweep(benchmarks, std::slice::from_ref(design))
+            .rows
+            .into_iter()
+            .map(|row| (row.benchmark, row.result))
+            .collect()
     }
 
-    /// Runs `f` for every benchmark on a pool of worker threads, preserving
+    /// Runs `f` for every benchmark on the work-stealing pool, preserving
     /// the input order in the returned vector.
+    ///
+    /// For plain grid simulation prefer [`sweep`](Self::sweep), which
+    /// schedules at cell granularity; this is the escape hatch for
+    /// experiments doing other per-benchmark work (trace analysis, replay
+    /// models).
     pub fn run_parallel<T, F>(&self, benchmarks: &[Benchmark], f: F) -> Vec<(Benchmark, T)>
     where
         T: Send,
         F: Fn(Benchmark) -> T + Sync,
     {
-        let results: Mutex<Vec<Option<(Benchmark, T)>>> =
-            Mutex::new((0..benchmarks.len()).map(|_| None).collect());
-        let parallelism = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(benchmarks.len().max(1));
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        self.engine.run_per_benchmark(benchmarks, f)
+    }
 
-        std::thread::scope(|scope| {
-            for _ in 0..parallelism {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= benchmarks.len() {
-                        break;
-                    }
-                    let b = benchmarks[i];
-                    let value = f(b);
-                    results.lock()[i] = Some((b, value));
-                });
-            }
-        });
-
-        results
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("every benchmark was processed"))
-            .collect()
+    /// Snapshot of the engine's cache behaviour.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 }
 
@@ -158,6 +166,19 @@ mod tests {
     }
 
     #[test]
+    fn same_name_different_parameters_never_collide() {
+        // The historical bug this layer must never regrow: two design
+        // points sharing a display name are still distinct cache entries.
+        let ctx = small_ctx();
+        let mut doppelganger = DesignPoint::proposed();
+        doppelganger.name = DesignPoint::baseline().name;
+        let a = ctx.simulate(Benchmark::Cg, &DesignPoint::baseline());
+        let b = ctx.simulate(Benchmark::Cg, &doppelganger);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.cycles, b.cycles);
+    }
+
+    #[test]
     fn parallel_sweep_preserves_order() {
         let ctx = small_ctx();
         let benchmarks = [Benchmark::Cg, Benchmark::Is, Benchmark::Ep];
@@ -167,6 +188,20 @@ mod tests {
         for (b, r) in &results {
             assert_eq!(r.instructions, ctx.traces(*b).total_instructions());
         }
+    }
+
+    #[test]
+    fn sweep_prefetches_the_grid() {
+        let ctx = small_ctx();
+        let benchmarks = [Benchmark::Cg, Benchmark::Lu];
+        let designs = [DesignPoint::baseline(), DesignPoint::proposed()];
+        let outcome = ctx.sweep(&benchmarks, &designs);
+        assert_eq!(outcome.rows.len(), 4);
+        let simulated = ctx.stats().simulated;
+        assert_eq!(simulated, 4);
+        // Every cell is now a memory hit.
+        ctx.simulate(Benchmark::Lu, &DesignPoint::proposed());
+        assert_eq!(ctx.stats().simulated, simulated);
     }
 
     #[test]

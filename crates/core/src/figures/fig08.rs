@@ -55,8 +55,13 @@ pub struct Figure8 {
 /// Runs the baseline and the cpc = 8 naive-sharing configuration and splits
 /// the cycle difference by stall cause.
 pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure8 {
-    let rows = ctx
-        .run_parallel(benchmarks, |b| {
+    ctx.sweep(
+        benchmarks,
+        &[DesignPoint::baseline(), DesignPoint::naive_shared(8)],
+    );
+    let rows = benchmarks
+        .iter()
+        .map(|&b| {
             let baseline = ctx.simulate(b, &DesignPoint::baseline());
             let shared = ctx.simulate(b, &DesignPoint::naive_shared(8));
             let base_cycles = baseline.cycles as f64;
@@ -87,8 +92,6 @@ pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure8 {
                 rest,
             }
         })
-        .into_iter()
-        .map(|(_, row)| row)
         .collect();
     Figure8 { rows }
 }

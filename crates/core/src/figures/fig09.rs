@@ -29,8 +29,14 @@ pub struct Figure9 {
 /// Measures the worker cores' access ratio on the baseline machine with 2,
 /// 4 and 8 line buffers.
 pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure9 {
-    let rows = ctx
-        .run_parallel(benchmarks, |b| {
+    let designs: Vec<DesignPoint> = [2, 4, 8]
+        .iter()
+        .map(|&n| DesignPoint::baseline().with_line_buffers(n))
+        .collect();
+    ctx.sweep(benchmarks, &designs);
+    let rows = benchmarks
+        .iter()
+        .map(|&b| {
             let ratio = |n: usize| {
                 let design = DesignPoint::baseline().with_line_buffers(n);
                 let r = ctx.simulate(b, &design);
@@ -43,8 +49,6 @@ pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure9 {
                 lb8_percent: ratio(8),
             }
         })
-        .into_iter()
-        .map(|(_, row)| row)
         .collect();
     Figure9 { rows }
 }

@@ -31,8 +31,16 @@ pub struct Figure10 {
 
 /// Runs the three cpc = 8 / 16 KB design alternatives against the baseline.
 pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure10 {
-    let rows = ctx
-        .run_parallel(benchmarks, |b| {
+    let designs = [
+        DesignPoint::baseline(),
+        DesignPoint::shared(16, 4, BusWidth::Single),
+        DesignPoint::shared(16, 8, BusWidth::Single),
+        DesignPoint::shared(16, 4, BusWidth::Double),
+    ];
+    ctx.sweep(benchmarks, &designs);
+    let rows = benchmarks
+        .iter()
+        .map(|&b| {
             let baseline = ctx.simulate(b, &DesignPoint::baseline());
             let norm = |design: &DesignPoint| {
                 ctx.simulate(b, design).cycles as f64 / baseline.cycles as f64
@@ -44,8 +52,6 @@ pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure10 {
                 more_bandwidth_4lb_double: norm(&DesignPoint::shared(16, 4, BusWidth::Double)),
             }
         })
-        .into_iter()
-        .map(|(_, row)| row)
         .collect();
     Figure10 { rows }
 }

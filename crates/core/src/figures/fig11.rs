@@ -33,8 +33,15 @@ pub struct Figure11 {
 /// Runs the baseline and the two shared-capacity configurations (cpc = 8,
 /// double bus so bandwidth does not perturb the miss behaviour).
 pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure11 {
-    let rows = ctx
-        .run_parallel(benchmarks, |b| {
+    let designs = [
+        DesignPoint::baseline(),
+        DesignPoint::shared(32, 4, BusWidth::Double),
+        DesignPoint::shared(16, 4, BusWidth::Double),
+    ];
+    ctx.sweep(benchmarks, &designs);
+    let rows = benchmarks
+        .iter()
+        .map(|&b| {
             let private = ctx.simulate(b, &DesignPoint::baseline());
             let shared32 = ctx.simulate(b, &DesignPoint::shared(32, 4, BusWidth::Double));
             let shared16 = ctx.simulate(b, &DesignPoint::shared(16, 4, BusWidth::Double));
@@ -55,8 +62,6 @@ pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure11 {
                 shared_16k_percent: percent(shared16.worker_icache_mpki()),
             }
         })
-        .into_iter()
-        .map(|(_, row)| row)
         .collect();
     Figure11 { rows }
 }

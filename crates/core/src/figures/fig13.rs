@@ -61,8 +61,15 @@ pub fn group_of(benchmark: Benchmark) -> Figure13Group {
 /// Runs the worker-shared and all-shared configurations (32 KB shared cache
 /// so capacity does not confound the master's join).
 pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure13 {
-    let rows = ctx
-        .run_parallel(benchmarks, |b| {
+    let designs = [
+        DesignPoint::worker_shared_32k_double(),
+        DesignPoint::all_shared(),
+        DesignPoint::all_shared_single_bus(),
+    ];
+    ctx.sweep(benchmarks, &designs);
+    let rows = benchmarks
+        .iter()
+        .map(|&b| {
             let worker_shared = ctx.simulate(b, &DesignPoint::worker_shared_32k_double());
             let all_shared = ctx.simulate(b, &DesignPoint::all_shared());
             let all_shared_single = ctx.simulate(b, &DesignPoint::all_shared_single_bus());
@@ -74,8 +81,6 @@ pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure13 {
                 group: group_of(b),
             }
         })
-        .into_iter()
-        .map(|(_, row)| row)
         .collect();
     Figure13 { rows }
 }

@@ -11,15 +11,20 @@
 //!   buses, runtime),
 //! * [`power_model`] — the McPAT/CACTI-style area and energy model,
 //! * [`acmp_analytic`] — the Hill-Marty model behind Figure 1,
+//! * [`acmp_sweep`] — the parallel design-space exploration engine
+//!   (work-stealing scheduler, sharded result cache, persistent
+//!   content-addressed store, the `sweep` CLI),
 //!
 //! and exposes the experiment layer used by the examples, the integration
 //! tests and the benchmark harness:
 //!
 //! * [`DesignPoint`] — the machine configurations evaluated in the paper
 //!   (baseline, naive sharing, more line buffers, more bandwidth, the
-//!   proposed 16 KB double-bus design, all-shared),
-//! * [`ExperimentContext`] — generates traces once per benchmark, runs
-//!   simulations (in parallel across benchmarks) and caches the results,
+//!   proposed 16 KB double-bus design, all-shared), re-exported from
+//!   `acmp-sweep`,
+//! * [`ExperimentContext`] — the figure modules' view of the sweep engine:
+//!   traces once per benchmark, grid runs fanned out over the
+//!   work-stealing pool, results cached by content hash,
 //! * [`figures`] — one module per table/figure of the paper, each computing
 //!   the same rows/series the paper reports.
 //!
@@ -37,17 +42,21 @@
 //! assert!(slowdown < 1.2);
 //! ```
 
-pub mod design_point;
 pub mod experiment;
 pub mod figures;
 pub mod report;
 
-pub use design_point::DesignPoint;
+// `DesignPoint` lives in `acmp-sweep` (the execution engine needs to name
+// design points without depending on this crate); re-exported here so
+// downstream code keeps using `shared_icache::DesignPoint`.
+pub use acmp_sweep::design_point;
+pub use acmp_sweep::DesignPoint;
 pub use experiment::ExperimentContext;
 pub use report::{arithmetic_mean, geometric_mean, TextTable};
 
 // Re-export the crates a downstream user needs to drive the library.
 pub use acmp_analytic;
+pub use acmp_sweep;
 pub use hpc_workloads;
 pub use power_model;
 pub use sim_acmp;

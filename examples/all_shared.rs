@@ -57,4 +57,12 @@ fn main() {
         "Conclusion (as in the paper): sharing the I-cache with the master core degrades \
          performance as the serial fraction grows, so the master keeps its private I-cache."
     );
+
+    let stats = ctx.stats();
+    println!(
+        "[engine] {} simulations across {} threads, {} memory hits",
+        stats.simulated,
+        ctx.engine().threads(),
+        stats.memory_hits
+    );
 }

@@ -65,4 +65,8 @@ fn main() {
             .join(", ")
     );
     println!("\nThese three properties motivate sharing the I-cache among lean cores.");
+    println!(
+        "[engine] characterisation fanned out over {} threads",
+        ctx.engine().threads()
+    );
 }

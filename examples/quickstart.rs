@@ -30,6 +30,12 @@ fn main() {
     );
     println!();
 
+    // Prefetch both design points in one engine sweep (two jobs in
+    // parallel); the `simulate` calls below are then cache hits.
+    ctx.sweep(
+        &[benchmark],
+        &[DesignPoint::baseline(), DesignPoint::proposed()],
+    );
     let baseline = ctx.simulate(benchmark, &DesignPoint::baseline());
     let proposed = ctx.simulate(benchmark, &DesignPoint::proposed());
 

@@ -1,0 +1,101 @@
+//! Integration: the sweep engine is deterministic and warm-startable.
+//!
+//! The determinism contract: running the same grid twice — in the same
+//! process, in a fresh process, or with a different worker count — yields
+//! byte-identical JSONL rows modulo row order (rows are sorted by job key
+//! before comparing).
+
+use hpc_workloads::{Benchmark, GeneratorConfig};
+use shared_icache::acmp_sweep::{GridSpec, SweepEngine};
+use shared_icache::DesignPoint;
+
+fn tiny_generator() -> GeneratorConfig {
+    GeneratorConfig {
+        num_workers: 2,
+        parallel_instructions_per_thread: 5_000,
+        num_phases: 1,
+        seed: 11,
+    }
+}
+
+fn grid() -> (Vec<Benchmark>, Vec<DesignPoint>) {
+    (
+        vec![Benchmark::Cg, Benchmark::Lu, Benchmark::Ua],
+        vec![
+            DesignPoint::baseline(),
+            DesignPoint::naive_shared(2),
+            DesignPoint::proposed(),
+        ],
+    )
+}
+
+/// The grid's JSONL rows, sorted by job key.
+fn sorted_jsonl(engine: &SweepEngine) -> Vec<String> {
+    let (benchmarks, designs) = grid();
+    let mut rows: Vec<String> = engine
+        .run_grid(&benchmarks, &designs)
+        .rows
+        .iter()
+        .map(|r| r.to_jsonl())
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+#[test]
+fn same_grid_twice_is_byte_identical() {
+    let engine = SweepEngine::new(tiny_generator());
+    let first = sorted_jsonl(&engine);
+    let second = sorted_jsonl(&engine);
+    assert_eq!(first.len(), 9);
+    assert_eq!(first, second);
+}
+
+#[test]
+fn worker_count_does_not_change_the_rows() {
+    let serial = sorted_jsonl(&SweepEngine::new(tiny_generator()).with_threads(1));
+    let parallel = sorted_jsonl(&SweepEngine::new(tiny_generator()).with_threads(8));
+    assert_eq!(
+        serial, parallel,
+        "scheduling must never leak into simulation results"
+    );
+}
+
+#[test]
+fn disk_store_round_trip_preserves_the_rows() {
+    let dir = std::env::temp_dir().join(format!("acmp-sweep-integration-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = SweepEngine::new(tiny_generator())
+        .with_disk_store(&dir)
+        .unwrap();
+    let cold_rows = sorted_jsonl(&cold);
+    assert_eq!(cold.stats().disk_hits, 0);
+    assert_eq!(cold.stats().simulated, 9);
+
+    // A fresh engine over the same store: everything is served from disk,
+    // and the JSONL is byte-identical to the cold run.
+    let warm = SweepEngine::new(tiny_generator())
+        .with_disk_store(&dir)
+        .unwrap();
+    let warm_rows = sorted_jsonl(&warm);
+    assert_eq!(warm.stats().simulated, 0, "warm run must not re-simulate");
+    assert_eq!(warm.stats().disk_hits, 9);
+    assert_eq!(cold_rows, warm_rows);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn grid_spec_drives_the_engine() {
+    let spec = GridSpec::parse("cg,lu", "baseline,lb:8").unwrap();
+    let engine = SweepEngine::new(tiny_generator());
+    let outcome = engine.run_grid(&spec.benchmarks, &spec.designs);
+    assert_eq!(outcome.rows.len(), spec.cells());
+    // Keys are unique across cells.
+    let mut keys: Vec<&str> = outcome.rows.iter().map(|r| r.key.as_str()).collect();
+    keys.sort_unstable();
+    let n = keys.len();
+    keys.dedup();
+    assert_eq!(keys.len(), n);
+}
