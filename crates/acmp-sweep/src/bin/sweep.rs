@@ -5,15 +5,21 @@
 //! sweep --benchmarks all --designs fig12 --workers 8
 //! sweep --benchmarks cg,lu --designs baseline,proposed --out rows.jsonl
 //! sweep --grid fig07 --scale paper --cache-dir /tmp/sweep-cache
+//! sweep --compact                            # merge the store into one generation
+//! sweep --cache-stats                        # inspect the store, run nothing
 //! ```
 //!
 //! Result rows stream as JSONL (stdout by default, `--out FILE` otherwise);
 //! progress and the final summary go to stderr, so piping stdout yields
 //! pure JSONL.  The summary includes the cache counters; a second identical
-//! invocation with the same `--cache-dir` reports `disk-hits > 0` and
-//! produces byte-identical rows.
+//! invocation with the same `--cache-dir` reports `disk-hits > 0`, zero
+//! simulations, zero trace generations, and produces byte-identical rows.
+//!
+//! `--compact` and `--cache-stats` are maintenance modes: they operate on
+//! the store named by `--cache-dir` (or the default) and exit without
+//! running a grid.
 
-use acmp_sweep::{GridSpec, SweepEngine};
+use acmp_sweep::{DiskStore, GridSpec, SweepEngine};
 use hpc_workloads::GeneratorConfig;
 use std::io::Write;
 
@@ -27,6 +33,8 @@ usage: sweep [options]
   --out FILE          write JSONL rows to FILE              (default: stdout)
   --cache-dir DIR     on-disk result store                  (default: target/sweep-cache)
   --no-disk-cache     disable the on-disk store
+  --compact           compact the store into one generation, then exit
+  --cache-stats       print store contents (entries/segments/bytes), then exit
   --quiet             suppress per-job progress lines
   --help              this text
 
@@ -41,6 +49,8 @@ struct Options {
     out: Option<String>,
     cache_dir: Option<String>,
     disk_cache: bool,
+    compact: bool,
+    cache_stats: bool,
     quiet: bool,
 }
 
@@ -53,6 +63,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         out: None,
         cache_dir: None,
         disk_cache: true,
+        compact: false,
+        cache_stats: false,
         quiet: false,
     };
     let mut it = args.iter();
@@ -85,6 +97,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--out" => opts.out = Some(value("--out")?),
             "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
             "--no-disk-cache" => opts.disk_cache = false,
+            "--compact" => opts.compact = true,
+            "--cache-stats" => opts.cache_stats = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
@@ -119,6 +133,53 @@ fn main() {
         }
     };
 
+    // Store maintenance modes: no grid, no engine.
+    if opts.compact || opts.cache_stats {
+        let root = opts
+            .cache_dir
+            .clone()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(DiskStore::default_root);
+        let store = match DiskStore::open(&root) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("sweep: cannot open cache dir {}: {e}", root.display());
+                std::process::exit(1);
+            }
+        };
+        if opts.compact {
+            match store.compact() {
+                Ok(cs) => println!(
+                    "compacted {}: {} live entries into generation {} ({} -> {} segments, {} -> {} bytes, removed {} dead segments, {} tmp files)",
+                    root.display(),
+                    cs.live_entries,
+                    cs.generation,
+                    cs.segments_before,
+                    cs.segments_after,
+                    cs.bytes_before,
+                    cs.bytes_after,
+                    cs.removed_segments,
+                    cs.removed_tmp,
+                ),
+                Err(e) => {
+                    eprintln!("sweep: compaction of {} failed: {e}", root.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        let stats = store.stats();
+        println!(
+            "cache {}: entries {}, segments {}, generation {}, live-bytes {}, evicted {}",
+            root.display(),
+            stats.entries,
+            stats.segments,
+            stats.generation,
+            stats.live_bytes,
+            stats.evicted,
+        );
+        return;
+    }
+
     let grid = match GridSpec::parse(&opts.benchmarks, &opts.designs) {
         Ok(grid) => grid,
         Err(msg) => {
@@ -136,8 +197,9 @@ fn main() {
             .cache_dir
             .clone()
             .map(std::path::PathBuf::from)
-            .unwrap_or_else(acmp_sweep::DiskStore::default_root);
-        engine = match engine.with_disk_store(&root) {
+            .unwrap_or_else(DiskStore::default_root);
+        engine = match engine.with_disk_store_limited(&root, DiskStore::default_generation_limit())
+        {
             Ok(engine) => engine,
             Err(e) => {
                 eprintln!("sweep: cannot open cache dir {}: {e}", root.display());
@@ -199,13 +261,14 @@ fn main() {
 
     let stats = engine.stats();
     eprintln!(
-        "sweep: done in {wall:.2}s — jobs {total}, simulated {}, memory-hits {}, disk-hits {}, steals {}, injector-pops {}",
-        stats.simulated, stats.memory_hits, stats.disk_hits, outcome.pool.steals, outcome.pool.injector_pops,
+        "sweep: done in {wall:.2}s — jobs {total}, simulated {}, memory-hits {}, disk-hits {}, trace-gens {}, trace-disk-hits {}, steals {}, injector-pops {}",
+        stats.simulated, stats.memory_hits, stats.disk_hits, stats.trace_generated,
+        stats.trace_disk_hits, outcome.pool.steals, outcome.pool.injector_pops,
     );
     if let Some(store) = stats.store {
         eprintln!(
-            "sweep: store — hits {}, misses {}, writes {}",
-            store.hits, store.misses, store.writes
+            "sweep: store — hits {}, misses {}, writes {}, entries {}, segments {}, generation {}",
+            store.hits, store.misses, store.writes, store.entries, store.segments, store.generation
         );
     }
 }

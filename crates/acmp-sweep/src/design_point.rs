@@ -54,6 +54,11 @@ impl DesignPoint {
     }
 
     /// A fully parameterised cpc = 8 shared design (Figs. 10 and 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `icache_kib` × 1024 overflows `u64` — in release builds an
+    /// unchecked multiply would wrap and silently simulate a tiny cache.
     pub fn shared(icache_kib: u64, line_buffers: usize, bus_width: BusWidth) -> Self {
         let bus = match bus_width {
             BusWidth::Single => "single",
@@ -62,7 +67,9 @@ impl DesignPoint {
         DesignPoint {
             name: format!("cpc8-{icache_kib}K-{line_buffers}lb-{bus}"),
             sharing: SharingMode::WorkerShared { cores_per_cache: 8 },
-            icache_bytes: icache_kib * 1024,
+            icache_bytes: icache_kib
+                .checked_mul(1024)
+                .expect("icache size in KiB overflows u64 bytes"),
             line_buffers,
             bus_width,
         }

@@ -8,7 +8,7 @@ use crate::store::{DiskStore, StoreStats};
 use hpc_workloads::{Benchmark, GeneratorConfig, TraceGenerator};
 use serde_json::json;
 use sim_acmp::{Machine, SimResult};
-use sim_trace::TraceSet;
+use sim_trace::{read_trace_set_json, write_trace_set_json, TraceSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -21,6 +21,10 @@ pub struct EngineStats {
     pub disk_hits: u64,
     /// Simulations actually executed.
     pub simulated: u64,
+    /// Trace sets actually generated (not served from any cache).
+    pub trace_generated: u64,
+    /// Trace sets loaded from the on-disk store.
+    pub trace_disk_hits: u64,
     /// Counters of the attached disk store, if any.
     pub store: Option<StoreStats>,
 }
@@ -95,6 +99,8 @@ pub struct SweepEngine {
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     simulated: AtomicU64,
+    trace_generated: AtomicU64,
+    trace_disk_hits: AtomicU64,
 }
 
 impl SweepEngine {
@@ -112,6 +118,8 @@ impl SweepEngine {
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
+            trace_generated: AtomicU64::new(0),
+            trace_disk_hits: AtomicU64::new(0),
         }
     }
 
@@ -122,25 +130,43 @@ impl SweepEngine {
         self
     }
 
-    /// Attaches a content-addressed disk store rooted at `root`.
+    /// Attaches a content-addressed disk store rooted at `root`, keeping
+    /// every generation.
     ///
     /// # Errors
     ///
     /// Returns the I/O error if the store directory cannot be created.
-    pub fn with_disk_store(mut self, root: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
-        self.store = Some(DiskStore::open(root)?);
+    pub fn with_disk_store(self, root: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.with_disk_store_limited(root, None)
+    }
+
+    /// [`with_disk_store`](Self::with_disk_store) with a generation bound:
+    /// all but the newest `limit` store generations are evicted at open.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the store directory cannot be created.
+    pub fn with_disk_store_limited(
+        mut self,
+        root: impl Into<std::path::PathBuf>,
+        limit: Option<u64>,
+    ) -> std::io::Result<Self> {
+        self.store = Some(DiskStore::open_limited(root, limit)?);
         Ok(self)
     }
 
     /// Attaches the default disk store (`target/sweep-cache`, or
-    /// `$ACMP_SWEEP_CACHE`).
+    /// `$ACMP_SWEEP_CACHE`), honouring the generation bound in
+    /// `$ACMP_SWEEP_CACHE_GENERATIONS` if one is set.
     ///
     /// # Errors
     ///
     /// Returns the I/O error if the store directory cannot be created.
     pub fn with_default_disk_store(self) -> std::io::Result<Self> {
-        let root = DiskStore::default_root();
-        self.with_disk_store(root)
+        self.with_disk_store_limited(
+            DiskStore::default_root(),
+            DiskStore::default_generation_limit(),
+        )
     }
 
     /// The trace-generation configuration.
@@ -168,12 +194,46 @@ impl SweepEngine {
         self.store.as_ref()
     }
 
-    /// Returns (generating and caching on first use) the trace set of
-    /// `benchmark`.
+    /// Returns (loading or generating and caching on first use) the trace
+    /// set of `benchmark`.
+    ///
+    /// With a disk store attached, traces are persisted under
+    /// [`JobKey::for_traces`] in `sim-trace`'s JSON-lines format, so a
+    /// fully warm run does zero trace generation across processes — not
+    /// just within one.
     pub fn traces(&self, benchmark: Benchmark) -> Arc<TraceSet> {
         self.traces.get_or_insert_with(benchmark, || {
-            Arc::new(TraceGenerator::new(benchmark.profile(), self.generator).generate())
+            Arc::new(self.load_or_generate_traces(benchmark))
         })
+    }
+
+    fn load_or_generate_traces(&self, benchmark: Benchmark) -> TraceSet {
+        let key = self
+            .store
+            .as_ref()
+            .map(|_| JobKey::for_traces(&self.generator, benchmark));
+        if let (Some(store), Some(key)) = (&self.store, &key) {
+            if let Some(text) = store.load::<String>(key) {
+                if let Ok(set) = read_trace_set_json(text.as_bytes()) {
+                    self.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return set;
+                }
+                // A verifiable envelope holding an unreadable trace (e.g.
+                // an older TRACE_FORMAT_VERSION): regenerate and overwrite.
+            }
+        }
+        let set = TraceGenerator::new(benchmark.profile(), self.generator).generate();
+        self.trace_generated.fetch_add(1, Ordering::Relaxed);
+        if let (Some(store), Some(key)) = (&self.store, &key) {
+            let mut buf = Vec::new();
+            if write_trace_set_json(&set, &mut buf).is_ok() {
+                if let Ok(text) = String::from_utf8(buf) {
+                    // Like result writes, a failed trace write is non-fatal.
+                    let _ = store.save(key, &text);
+                }
+            }
+        }
+        set
     }
 
     /// Simulates `benchmark` on `design`, consulting the memory cache, then
@@ -270,13 +330,18 @@ impl SweepEngine {
             })
             .collect();
 
-        // Generate traces up front — one pool job per distinct benchmark
+        // Materialise traces up front — one pool job per distinct benchmark
         // that actually needs simulating.  Cell jobs are benchmark-major,
         // so without this a cold grid would start `min(threads, designs)`
         // workers on the same benchmark at once and each would run the full
         // trace generator (the cache's `make` deliberately runs unlocked).
-        // Cells already resident in memory or on disk don't need traces;
-        // a fully warm run must stay trace-generation-free.
+        // Cells already resident in memory or on disk don't need traces; a
+        // fully warm run must stay trace-free.  `store.contains` answers
+        // from the verified segment index, so a corrupt or key-mismatched
+        // entry reads as absent here and its benchmark keeps its prefetch
+        // job — trusting an unverified existence check used to let exactly
+        // such an entry miss at simulate time and stampede every worker
+        // into regenerating the same trace set concurrently.
         let mut need_traces: Vec<Benchmark> = keyed
             .iter()
             .filter(|(_, key)| {
@@ -327,6 +392,8 @@ impl SweepEngine {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             simulated: self.simulated.load(Ordering::Relaxed),
+            trace_generated: self.trace_generated.load(Ordering::Relaxed),
+            trace_disk_hits: self.trace_disk_hits.load(Ordering::Relaxed),
             store: self.store.as_ref().map(DiskStore::stats),
         }
     }
@@ -420,6 +487,140 @@ mod tests {
         assert_eq!(warm.stats().disk_hits, 1);
         assert_eq!(warm.stats().simulated, 0);
         assert_eq!(*a, *b, "disk round trip must be lossless");
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "acmp-sweep-engine-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Corrupts (in place) every segment record line matching `pred`,
+    /// returning how many lines were hit.
+    fn corrupt_records(dir: &std::path::Path, pred: impl Fn(&str) -> bool) -> usize {
+        let mut corrupted = 0;
+        for entry in std::fs::read_dir(dir).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if crate::segment::SegmentName::parse(&name).is_none() {
+                continue;
+            }
+            let text = std::fs::read_to_string(entry.path()).unwrap();
+            let mangled: Vec<String> = text
+                .lines()
+                .map(|line| {
+                    if pred(line) {
+                        corrupted += 1;
+                        format!("X{}", &line[1..])
+                    } else {
+                        line.to_string()
+                    }
+                })
+                .collect();
+            std::fs::write(entry.path(), mangled.join("\n")).unwrap();
+        }
+        corrupted
+    }
+
+    #[test]
+    fn warm_engine_generates_and_loads_zero_traces() {
+        let dir = store_dir("warm-traces");
+        let benchmarks = [Benchmark::Cg, Benchmark::Lu];
+        let designs = [DesignPoint::baseline(), DesignPoint::proposed()];
+
+        let cold = small_engine().with_disk_store(&dir).unwrap();
+        let cold_rows = cold.run_grid(&benchmarks, &designs);
+        assert_eq!(cold.stats().trace_generated, 2, "one per benchmark");
+        assert_eq!(cold.stats().trace_disk_hits, 0);
+        // The store holds one entry per cell plus one per benchmark.
+        assert_eq!(cold.stats().store.unwrap().entries, 4 + 2);
+
+        // A fresh engine (fresh process stand-in) over the same store: all
+        // cells hit the disk store, so no traces are generated — or even
+        // loaded.
+        let warm = small_engine().with_disk_store(&dir).unwrap();
+        let warm_rows = warm.run_grid(&benchmarks, &designs);
+        let stats = warm.stats();
+        assert_eq!(stats.simulated, 0);
+        assert_eq!(stats.trace_generated, 0, "warm runs must not generate");
+        assert_eq!(stats.trace_disk_hits, 0, "fully warm runs skip traces");
+        let cold_jsonl: Vec<String> = cold_rows.rows.iter().map(SweepRow::to_jsonl).collect();
+        let warm_jsonl: Vec<String> = warm_rows.rows.iter().map(SweepRow::to_jsonl).collect();
+        assert_eq!(cold_jsonl, warm_jsonl);
+
+        // A partially warm grid (one new design) reuses the persisted
+        // traces instead of regenerating them.
+        let wider = small_engine().with_disk_store(&dir).unwrap();
+        let mut designs3 = designs.to_vec();
+        designs3.push(DesignPoint::all_shared());
+        wider.run_grid(&benchmarks, &designs3);
+        let stats = wider.stats();
+        assert_eq!(stats.simulated, 2, "only the new design's cells run");
+        assert_eq!(stats.trace_generated, 0);
+        assert_eq!(stats.trace_disk_hits, 2, "traces come from the store");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_result_entry_resimulates_without_regenerating_traces() {
+        let dir = store_dir("corrupt-result");
+        let benchmarks = [Benchmark::Cg];
+        let designs = [DesignPoint::baseline(), DesignPoint::proposed()];
+        let cold = small_engine().with_disk_store(&dir).unwrap();
+        let cold_rows = cold.run_grid(&benchmarks, &designs);
+
+        // Corrupt both result entries; leave the trace entry intact.
+        assert_eq!(corrupt_records(&dir, |l| !l.contains("traces")), 2);
+
+        let warm = small_engine()
+            .with_threads(4)
+            .with_disk_store(&dir)
+            .unwrap();
+        let warm_rows = warm.run_grid(&benchmarks, &designs);
+        let stats = warm.stats();
+        assert_eq!(stats.simulated, 2, "corrupt entries must re-simulate");
+        assert_eq!(stats.trace_generated, 0, "traces still come from disk");
+        assert_eq!(stats.trace_disk_hits, 1);
+        let cold_jsonl: Vec<String> = cold_rows.rows.iter().map(SweepRow::to_jsonl).collect();
+        let warm_jsonl: Vec<String> = warm_rows.rows.iter().map(SweepRow::to_jsonl).collect();
+        assert_eq!(cold_jsonl, warm_jsonl, "re-simulation must be lossless");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_never_stampede_trace_generation() {
+        // The regression this guards: the prefetch filter used to trust an
+        // unverified existence check, so a corrupt entry excluded its
+        // benchmark from the prefetch, missed at simulate time, and every
+        // worker regenerated the same trace set concurrently.
+        let dir = store_dir("stampede");
+        let benchmarks = [Benchmark::Cg];
+        let designs = [
+            DesignPoint::baseline(),
+            DesignPoint::proposed(),
+            DesignPoint::all_shared(),
+        ];
+        let cold = small_engine().with_disk_store(&dir).unwrap();
+        cold.run_grid(&benchmarks, &designs);
+
+        // Corrupt *everything* — results and traces.
+        assert_eq!(corrupt_records(&dir, |_| true), 4);
+
+        let warm = small_engine()
+            .with_threads(4)
+            .with_disk_store(&dir)
+            .unwrap();
+        warm.run_grid(&benchmarks, &designs);
+        let stats = warm.stats();
+        assert_eq!(stats.simulated, 3);
+        assert_eq!(
+            stats.trace_generated, 1,
+            "the verified pre-check must route the benchmark through the \
+             single prefetch job, not a per-worker stampede"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

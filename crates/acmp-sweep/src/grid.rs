@@ -196,6 +196,11 @@ fn parse_design_token(token: &str) -> Result<Vec<DesignPoint>, String> {
                     "cache size and line buffers must be ≥ 1 in `{token}`"
                 ));
             }
+            // KiB → bytes must not wrap: an absurd size would otherwise
+            // silently simulate a tiny cache in release builds.
+            if kib.checked_mul(1024).is_none() {
+                return Err(format!("cache size overflows in `{token}` (KiB × 1024)"));
+            }
             Ok(vec![DesignPoint::shared(kib, lb, bus)])
         }
         _ => Err(format!(
@@ -236,6 +241,18 @@ mod tests {
         assert!(parse_designs("shared:16:8:triple").is_err());
         assert!(parse_designs("mystery").is_err());
         assert!(parse_designs("lb:0").is_err());
+    }
+
+    #[test]
+    fn overflowing_cache_sizes_are_rejected_not_wrapped() {
+        // u64::MAX parses as a KiB count but wraps when scaled to bytes;
+        // that must be a parse error, never a silently tiny cache.
+        let huge = format!("shared:{}:4:double", u64::MAX);
+        let err = parse_designs(&huge).unwrap_err();
+        assert!(err.contains("overflows"), "{err}");
+        // The largest non-wrapping size still parses.
+        let max_ok = format!("shared:{}:4:double", u64::MAX / 1024);
+        assert!(parse_designs(&max_ok).is_ok());
     }
 
     #[test]

@@ -56,6 +56,21 @@ impl JobKey {
         JobKey { canonical, digest }
     }
 
+    /// Derives the key under which the *trace set* of `benchmark` (as
+    /// produced by `generator`) is persisted.  Traces are design-agnostic,
+    /// so the key deliberately carries no design point; the `kind` marker
+    /// keeps the canonical form disjoint from every simulation-result key.
+    #[must_use]
+    pub fn for_traces(generator: &GeneratorConfig, benchmark: Benchmark) -> Self {
+        let canonical = stable_hash::canonical_json(&json!({
+            "kind": "traces",
+            "generator": generator,
+            "benchmark": benchmark,
+        }));
+        let digest = stable_hash::fnv1a(canonical.as_bytes());
+        JobKey { canonical, digest }
+    }
+
     /// The canonical JSON this key was derived from.
     #[must_use]
     pub fn canonical(&self) -> &str {
@@ -139,6 +154,26 @@ mod tests {
         let other_gen = JobKey::new(&generator().with_seed(99), Benchmark::Cg, &design);
         assert_ne!(base, other_bench);
         assert_ne!(base, other_gen);
+    }
+
+    #[test]
+    fn trace_keys_never_collide_with_result_keys() {
+        let design = DesignPoint::baseline();
+        let result = JobKey::new(&generator(), Benchmark::Cg, &design);
+        let traces = JobKey::for_traces(&generator(), Benchmark::Cg);
+        assert_ne!(result, traces);
+        assert_ne!(
+            JobKey::for_traces(&generator(), Benchmark::Cg),
+            JobKey::for_traces(&generator(), Benchmark::Lu)
+        );
+        assert_ne!(
+            JobKey::for_traces(&generator(), Benchmark::Cg),
+            JobKey::for_traces(&generator().with_seed(99), Benchmark::Cg)
+        );
+        assert_eq!(
+            JobKey::for_traces(&generator(), Benchmark::Cg),
+            JobKey::for_traces(&generator(), Benchmark::Cg)
+        );
     }
 
     #[test]

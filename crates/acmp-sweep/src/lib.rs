@@ -14,7 +14,11 @@
 //!   independently locked shards instead of one global mutex;
 //! * [`DiskStore`] — a content-addressed on-disk store (stable hash of
 //!   generator config + benchmark + design point) that makes repeated runs
-//!   warm-start across processes;
+//!   warm-start across processes.  Entries — simulation results *and*
+//!   per-benchmark trace sets — are packed into generational append-only
+//!   segment files ([`segment`]) indexed in memory at open, and
+//!   [`DiskStore::compact`] merges live entries into a fresh generation so
+//!   the store never grows unboundedly;
 //! * [`SweepEngine`] — ties the three together behind
 //!   [`simulate`](SweepEngine::simulate) / [`run_grid`](SweepEngine::run_grid);
 //! * [`GridSpec`] — the `benchmarks × designs` spec grammar of the `sweep`
@@ -24,15 +28,18 @@
 //! here too, so the engine, the CLI and the spec grammar can name design
 //! points without depending on the figure layer above.
 
+pub mod compact;
 pub mod design_point;
 pub mod engine;
 pub mod grid;
 pub mod job;
 pub mod scheduler;
+pub mod segment;
 pub mod sharded;
 pub mod stable_hash;
 pub mod store;
 
+pub use compact::CompactStats;
 pub use design_point::DesignPoint;
 pub use engine::{EngineStats, SweepEngine, SweepOutcome, SweepRow};
 pub use grid::GridSpec;

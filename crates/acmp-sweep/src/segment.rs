@@ -1,0 +1,316 @@
+//! Packed segment files: the on-disk unit of the generational store.
+//!
+//! A segment is an append-only text file holding one *record* per line.
+//! Each record is a self-verifying envelope:
+//!
+//! ```text
+//! {"key":"<escaped canonical key>","crc":"<16-hex fnv1a>","value":<json>}
+//! ```
+//!
+//! The layout is produced only by [`encode_record`], so readers may rely on
+//! the exact field order and the absence of whitespace: [`scan_record`]
+//! recovers the canonical key and verifies the value checksum *without*
+//! parsing the value, which keeps index construction at store open cheap
+//! even when segments hold multi-megabyte trace entries.  A torn tail (a
+//! crash mid-append) or a corrupted line fails the scan and is skipped —
+//! never served.
+//!
+//! Segment files are named `seg-<generation:08>-<pid>-<seq:04>.seg`.  The
+//! generation number is the store's eviction and compaction unit: every
+//! store handle appends into a fresh generation, and
+//! [`compact`](crate::store::DiskStore::compact) merges all live records
+//! into the next one.  The `<pid>-<seq>` suffix makes names unique across
+//! concurrently writing processes, so no two writers ever share a file.
+
+use crate::stable_hash;
+
+/// Extension of live segment files.
+pub const SEGMENT_EXT: &str = "seg";
+
+/// Extension of in-flight temporary files (compaction output before its
+/// rename).  Orphans with this extension are junk from a crashed writer and
+/// are removed by [`compact`](crate::store::DiskStore::compact).
+pub const TMP_EXT: &str = "tmp";
+
+/// Target size of one segment file.  Appends roll to a new segment once the
+/// active one crosses this, so single files stay comfortably mappable and
+/// compaction can stream them.
+pub const SEGMENT_TARGET_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Parsed identity of a segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SegmentName {
+    /// The generation the segment belongs to (major sort key).
+    pub generation: u64,
+    /// Process that wrote the segment.
+    pub pid: u32,
+    /// Per-process sequence number.
+    pub seq: u64,
+}
+
+impl SegmentName {
+    /// The file name this identity encodes to.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!(
+            "seg-{:08}-{}-{:04}.{SEGMENT_EXT}",
+            self.generation, self.pid, self.seq
+        )
+    }
+
+    /// Parses a segment file name; `None` for anything that is not one.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        let stem = name
+            .strip_prefix("seg-")?
+            .strip_suffix(&format!(".{SEGMENT_EXT}"))?;
+        let mut parts = stem.split('-');
+        let generation = parts.next()?.parse().ok()?;
+        let pid = parts.next()?.parse().ok()?;
+        let seq = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(SegmentName {
+            generation,
+            pid,
+            seq,
+        })
+    }
+}
+
+/// Encodes one record line (no trailing newline) from a canonical key and
+/// the already-serialised value JSON.
+#[must_use]
+pub fn encode_record(canonical: &str, value_json: &str) -> String {
+    let crc = stable_hash::hex(stable_hash::fnv1a(value_json.as_bytes()));
+    let mut line = String::with_capacity(canonical.len() + value_json.len() + 48);
+    line.push_str("{\"key\":\"");
+    escape_into(canonical, &mut line);
+    line.push_str("\",\"crc\":\"");
+    line.push_str(&crc);
+    line.push_str("\",\"value\":");
+    line.push_str(value_json);
+    line.push('}');
+    line
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// One verified record found while scanning a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedRecord {
+    /// The unescaped canonical key embedded in the record.
+    pub canonical: String,
+    /// Byte offset of the record line within the segment file.
+    pub offset: u64,
+    /// Length of the record line in bytes (without the newline).
+    pub len: u64,
+}
+
+/// Verifies one record line and recovers its canonical key without parsing
+/// the value: the line must have the exact [`encode_record`] layout and the
+/// value bytes must match the embedded checksum.  Returns `None` for torn,
+/// truncated or corrupted lines.
+#[must_use]
+pub fn scan_record(line: &str) -> Option<String> {
+    let rest = line.strip_prefix("{\"key\":\"")?;
+    let (canonical, consumed) = unescape_string_body(rest)?;
+    let rest = &rest[consumed..];
+    let rest = rest.strip_prefix("\",\"crc\":\"")?;
+    if rest.len() < 16 || !rest.is_char_boundary(16) {
+        return None;
+    }
+    let (crc_hex, rest) = rest.split_at(16);
+    if !crc_hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let value = rest.strip_prefix("\",\"value\":")?.strip_suffix('}')?;
+    let crc = u64::from_str_radix(crc_hex, 16).ok()?;
+    if stable_hash::fnv1a(value.as_bytes()) != crc {
+        return None;
+    }
+    Some(canonical)
+}
+
+/// Unescapes a JSON string body up to (not including) its closing quote.
+/// Returns the unescaped text and the number of input bytes consumed.
+fn unescape_string_body(s: &str) -> Option<(String, usize)> {
+    let bytes = s.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((out, i)),
+            b'\\' => {
+                let esc = *bytes.get(i + 1)?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = s.get(i + 2..i + 6)?;
+                        let c = u32::from_str_radix(hex, 16).ok().and_then(char::from_u32)?;
+                        out.push(c);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+                i += 2;
+            }
+            _ => {
+                let c = s[i..].chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+/// Scans a whole segment's bytes, yielding every verified record with its
+/// byte span.  Unverifiable lines — torn tails, corruption, even invalid
+/// UTF-8 — are skipped silently (they must read as absent, never abort the
+/// scan), and offsets stay byte-accurate regardless.
+#[must_use]
+pub fn scan_segment(bytes: &[u8]) -> Vec<ScannedRecord> {
+    let mut records = Vec::new();
+    let mut offset = 0u64;
+    for line in bytes.split_inclusive(|&b| b == b'\n') {
+        let body = line.strip_suffix(b"\n").unwrap_or(line);
+        if let Some(canonical) = std::str::from_utf8(body).ok().and_then(scan_record) {
+            records.push(ScannedRecord {
+                canonical,
+                offset,
+                len: body.len() as u64,
+            });
+        }
+        offset += line.len() as u64;
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_names_round_trip() {
+        let n = SegmentName {
+            generation: 7,
+            pid: 1234,
+            seq: 3,
+        };
+        assert_eq!(n.file_name(), "seg-00000007-1234-0003.seg");
+        assert_eq!(SegmentName::parse(&n.file_name()), Some(n));
+        assert_eq!(SegmentName::parse("seg-x-1-2.seg"), None);
+        assert_eq!(SegmentName::parse("other.json"), None);
+        assert_eq!(SegmentName::parse(".seg-00000001-1-0001.tmp"), None);
+    }
+
+    #[test]
+    fn names_sort_by_generation_first() {
+        let old = SegmentName {
+            generation: 1,
+            pid: 99999,
+            seq: 9,
+        };
+        let new = SegmentName {
+            generation: 2,
+            pid: 1,
+            seq: 0,
+        };
+        assert!(old < new);
+    }
+
+    #[test]
+    fn records_encode_and_scan() {
+        let canonical = "{\"generator\":{\"seed\":7},\"benchmark\":\"cg\"}";
+        let line = encode_record(canonical, "{\"cycles\":42}");
+        assert_eq!(scan_record(&line).as_deref(), Some(canonical));
+    }
+
+    #[test]
+    fn corrupted_records_fail_the_scan() {
+        let line = encode_record("{\"k\":1}", "[1,2,3]");
+        // Flip a value byte: checksum mismatch.
+        let corrupt = line.replace("[1,2,3]", "[1,2,4]");
+        assert_eq!(scan_record(&corrupt), None);
+        // Torn tail: any truncation breaks the layout or the checksum.
+        for cut in 1..line.len() {
+            assert_eq!(scan_record(&line[..line.len() - cut]), None, "cut {cut}");
+        }
+        assert_eq!(scan_record(""), None);
+        assert_eq!(scan_record("not a record"), None);
+    }
+
+    #[test]
+    fn multibyte_corruption_is_rejected_without_panicking() {
+        // A crc field corrupted to multibyte text must not panic the
+        // scanner on a non-char-boundary split.
+        let line = "{\"key\":\"k\",\"crc\":\"ああああああああ\",\"value\":1}";
+        assert_eq!(scan_record(line), None);
+    }
+
+    #[test]
+    fn scan_segment_skips_bad_lines_and_keeps_offsets() {
+        let a = encode_record("key-a", "1");
+        let b = encode_record("key-b", "[2]");
+        let text = format!("{a}\ngarbage line\n{b}\n{}", &a[..a.len() - 3]);
+        let records = scan_segment(text.as_bytes());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].canonical, "key-a");
+        assert_eq!(records[0].offset, 0);
+        assert_eq!(records[0].len, a.len() as u64);
+        assert_eq!(records[1].canonical, "key-b");
+        let b_offset = a.len() as u64 + 1 + "garbage line\n".len() as u64;
+        assert_eq!(records[1].offset, b_offset);
+        // The record bytes can be sliced back out of the text verbatim.
+        let r = &records[1];
+        let span = r.offset as usize..(r.offset + r.len) as usize;
+        assert_eq!(&text[span], b);
+    }
+
+    #[test]
+    fn invalid_utf8_lines_are_skipped_with_exact_offsets() {
+        let a = encode_record("key-a", "1");
+        let b = encode_record("key-b", "2");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(a.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&[0xFF, 0xFE, 0x80]); // not UTF-8
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b.as_bytes());
+        let records = scan_segment(&bytes);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].canonical, "key-a");
+        assert_eq!(records[1].canonical, "key-b");
+        assert_eq!(records[1].offset, a.len() as u64 + 1 + 4);
+    }
+
+    #[test]
+    fn escaped_keys_survive() {
+        let canonical = "line\none\t\"quoted\" \\ backslash \u{1} control";
+        let line = encode_record(canonical, "null");
+        assert_eq!(scan_record(&line).as_deref(), Some(canonical));
+    }
+}

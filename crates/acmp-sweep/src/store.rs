@@ -1,25 +1,47 @@
 //! The persistent, content-addressed result store.
 //!
-//! Every simulation result is written under the hex digest of its
-//! [`JobKey`](crate::JobKey), as one JSON file in the store directory
-//! (default `target/sweep-cache/`).  A later run — any process, any worker
-//! count — that derives the same key is served from disk instead of
-//! re-simulating, which turns repeated figure runs into warm starts.
+//! Results (and trace sets) are packed into append-only **segment files**
+//! (see [`crate::segment`]) under the store directory (default
+//! `target/sweep-cache/`).  A later run — any process, any worker count —
+//! that derives the same [`JobKey`](crate::JobKey) is served from disk
+//! instead of re-simulating, which turns repeated figure runs into warm
+//! starts.
 //!
-//! Entries are self-verifying: the file embeds the full canonical key next
-//! to the value, and a load whose embedded key does not match the request
-//! (a digest collision, or a stale file from an incompatible revision) is
-//! treated as a miss and overwritten.  Writes go to a process-unique
-//! temporary file first and are atomically renamed into place, so
-//! concurrent sweeps never observe torn entries.
+//! Opening a store scans every segment once and builds an in-memory index
+//! of *verified* records: a record whose layout or value checksum does not
+//! hold (a torn append, bit rot) is never indexed, so
+//! [`contains`](DiskStore::contains) answers from verified entries only and
+//! schedulers can trust it.  Loads additionally re-verify the embedded
+//! canonical key, so even a digest collision reads as a miss rather than as
+//! somebody else's data.
+//!
+//! Writes append under a store-wide writer lock — two threads saving the
+//! same key serialise instead of racing on a shared temporary file (the
+//! failure mode of the old one-file-per-entry layout), and a failed append
+//! truncates itself away instead of leaving junk behind.
+//!
+//! Every store handle appends into a fresh **generation**;
+//! [`compact`](DiskStore::compact) merges all live records into the next
+//! generation and deletes everything older, and
+//! [`open_limited`](DiskStore::open_limited) evicts generations beyond a
+//! configured bound at open, so the directory's growth stays bounded.
 
 use crate::job::JobKey;
+use crate::segment::{self, SegmentName, SEGMENT_TARGET_BYTES, TMP_EXT};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize, Value};
-use serde_json::json;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counters describing how a store behaved over its lifetime.
+/// Environment variable bounding how many generations survive an
+/// [`open_limited`](DiskStore::open_limited) with the default limit.
+pub const GENERATION_LIMIT_ENV: &str = "ACMP_SWEEP_CACHE_GENERATIONS";
+
+/// Counters describing how a store behaved over its lifetime, plus a
+/// snapshot of its current contents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreStats {
     /// Loads served from disk.
@@ -28,31 +50,161 @@ pub struct StoreStats {
     pub misses: u64,
     /// Entries written.
     pub writes: u64,
+    /// Live (indexed, verified) entries.
+    pub entries: u64,
+    /// Segment files currently backing the index.
+    pub segments: u64,
+    /// Generation new appends go to.
+    pub generation: u64,
+    /// Total bytes of live records (excluding dead overwritten ones).
+    pub live_bytes: u64,
+    /// Segment files deleted by generation eviction at open.
+    pub evicted: u64,
 }
 
-/// An on-disk key → value store addressed by stable content hash.
+/// Where one live record lives on disk.
+#[derive(Debug, Clone)]
+pub(crate) struct IndexEntry {
+    pub(crate) canonical: String,
+    pub(crate) segment: usize,
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
+}
+
+/// The active append target of this store handle.
+#[derive(Debug)]
+pub(crate) struct ActiveSegment {
+    pub(crate) file: File,
+    pub(crate) segment: usize,
+    pub(crate) len: u64,
+}
+
+/// Everything the index lock protects.
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    /// Segment id → path.  Ids are positional and stable until a compact.
+    pub(crate) segments: Vec<PathBuf>,
+    /// Key digest → live record location.  Collisions on the 64-bit digest
+    /// are resolved by the canonical string stored in the entry.
+    pub(crate) index: HashMap<u64, IndexEntry>,
+    pub(crate) active: Option<ActiveSegment>,
+    /// Generation this handle appends to.
+    pub(crate) generation: u64,
+    /// Total bytes of live records.
+    pub(crate) live_bytes: u64,
+}
+
+/// An on-disk key → value store addressed by stable content hash, packed
+/// into generational segment files.
 #[derive(Debug)]
 pub struct DiskStore {
     root: PathBuf,
+    pub(crate) inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl DiskStore {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a store rooted at `root`, keeping every
+    /// generation.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the directory cannot be created.
+    /// Returns the I/O error if the directory cannot be created or scanned.
     pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::open_limited(root, None)
+    }
+
+    /// Opens a store, evicting all but the newest `limit` generations of
+    /// segment files first (when `limit` is `Some`).  Entries written after
+    /// open always land in a generation newer than any existing one, so a
+    /// session's own writes are never evicted by its *own* open.  Like
+    /// [`compact`](DiskStore::compact), eviction deletes files by path and
+    /// therefore must not race sweeps running concurrently in other
+    /// processes on the same store (see `compact.rs`'s module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created or scanned.
+    pub fn open_limited(root: impl Into<PathBuf>, limit: Option<u64>) -> std::io::Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
+
+        // Collect and order the segment files: generation first, then
+        // (pid, seq), so replay order — and therefore which duplicate of a
+        // key wins — is deterministic.
+        let mut found: Vec<(SegmentName, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(seg) = name.to_str().and_then(SegmentName::parse) {
+                found.push((seg, entry.path()));
+            }
+        }
+        found.sort_unstable_by_key(|(seg, _)| *seg);
+
+        // Generation eviction: keep only the newest `limit` distinct
+        // generations; delete the segment files of everything older.
+        let mut evicted = 0u64;
+        if let Some(limit) = limit {
+            let mut generations: Vec<u64> = found.iter().map(|(s, _)| s.generation).collect();
+            generations.dedup();
+            if generations.len() as u64 > limit {
+                let cutoff = generations[generations.len() - limit.max(1) as usize];
+                found.retain(|(seg, path)| {
+                    if seg.generation < cutoff {
+                        let _ = std::fs::remove_file(path);
+                        evicted += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+
+        let max_generation = found.iter().map(|(s, _)| s.generation).max().unwrap_or(0);
+
+        // Build the verified index.  Later records (newer generations, or
+        // later appends within one) override earlier ones.
+        let mut inner = Inner {
+            generation: max_generation + 1,
+            ..Inner::default()
+        };
+        for (_, path) in found {
+            // Raw bytes, not UTF-8: a corrupt (even non-UTF-8) line must
+            // read as absent, never abort the open.  An unreadable segment
+            // — e.g. deleted by a concurrent open's eviction between our
+            // directory listing and this read — likewise reads as absent.
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let segment_id = inner.segments.len();
+            inner.segments.push(path);
+            for record in segment::scan_segment(&bytes) {
+                let digest = crate::stable_hash::fnv1a(record.canonical.as_bytes());
+                let entry = IndexEntry {
+                    canonical: record.canonical,
+                    segment: segment_id,
+                    offset: record.offset,
+                    len: record.len,
+                };
+                if let Some(old) = inner.index.insert(digest, entry) {
+                    inner.live_bytes -= old.len;
+                }
+                inner.live_bytes += record.len;
+            }
+        }
+
         Ok(DiskStore {
             root,
+            inner: Mutex::new(inner),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            evicted: AtomicU64::new(evicted),
         })
     }
 
@@ -66,22 +218,35 @@ impl DiskStore {
             .unwrap_or_else(|| PathBuf::from("target").join("sweep-cache"))
     }
 
+    /// The default generation bound: `$ACMP_SWEEP_CACHE_GENERATIONS` if set
+    /// to a positive integer, otherwise no bound.
+    #[must_use]
+    pub fn default_generation_limit() -> Option<u64> {
+        std::env::var(GENERATION_LIMIT_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&n| n >= 1)
+    }
+
     /// The store directory.
     #[must_use]
     pub fn root(&self) -> &Path {
         &self.root
     }
 
-    fn entry_path(&self, key: &JobKey) -> PathBuf {
-        self.root.join(format!("{}.json", key.hex()))
-    }
-
-    /// Whether an entry file exists for `key` (without reading or verifying
-    /// it, and without touching the hit/miss counters).  A cheap pre-check
-    /// for schedulers deciding what work a grid still needs.
+    /// Whether a *verified* entry exists for `key`.  This is answered from
+    /// the in-memory index (built from checksummed records at open, kept
+    /// current by this handle's writes), so a corrupt or key-mismatched
+    /// record on disk reads as absent — schedulers deciding what work a
+    /// grid still needs can rely on the answer.  Does not touch the
+    /// hit/miss counters.
     #[must_use]
     pub fn contains(&self, key: &JobKey) -> bool {
-        self.entry_path(key).is_file()
+        let inner = self.inner.lock();
+        inner
+            .index
+            .get(&key.digest())
+            .is_some_and(|e| e.canonical == key.canonical())
     }
 
     /// Loads the value stored under `key`, verifying the embedded canonical
@@ -96,7 +261,19 @@ impl DiskStore {
     }
 
     fn try_load<V: Deserialize>(&self, key: &JobKey) -> Option<V> {
-        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let (path, offset, len) = {
+            let inner = self.inner.lock();
+            let entry = inner.index.get(&key.digest())?;
+            if entry.canonical != key.canonical() {
+                return None;
+            }
+            (
+                inner.segments[entry.segment].clone(),
+                entry.offset,
+                entry.len,
+            )
+        };
+        let text = read_span(&path, offset, len).ok()?;
         let envelope: Value = serde_json::from_str(&text).ok()?;
         let fields = envelope.as_object()?;
         let stored_key = serde::get_field(fields, "key").ok()?.as_str()?;
@@ -107,50 +284,148 @@ impl DiskStore {
         V::deserialize(value).ok()
     }
 
-    /// Persists `value` under `key`.
+    /// Persists `value` under `key`, appending a checksummed record to the
+    /// active segment (rolling to a new segment past the size target).
     ///
     /// # Errors
     ///
     /// Returns the I/O or serialisation error; callers may treat a failed
-    /// store write as non-fatal (the result is still in memory).
+    /// store write as non-fatal (the result is still in memory).  A failed
+    /// append is truncated away, so it cannot be observed by later opens.
     pub fn save<V: Serialize>(&self, key: &JobKey, value: &V) -> Result<(), serde::Error> {
-        let envelope = json!({
-            "key": key.canonical(),
-            "value": value,
-        });
-        let final_path = self.entry_path(key);
-        let tmp_path = self
-            .root
-            .join(format!(".{}.tmp.{}", key.hex(), std::process::id()));
-        std::fs::write(&tmp_path, serde_json::to_string(&envelope)?)?;
-        std::fs::rename(&tmp_path, &final_path).map_err(serde::Error::from)?;
+        let value_json = serde_json::to_string(value)?;
+        let mut line = segment::encode_record(key.canonical(), &value_json);
+        line.push('\n');
+
+        let mut inner = self.inner.lock();
+        self.ensure_active(&mut inner, line.len() as u64)
+            .map_err(serde::Error::from)?;
+        let (write_result, segment, offset) = {
+            let active = inner.active.as_mut().expect("ensure_active installs one");
+            let offset = active.len;
+            let result = active
+                .file
+                .write_all(line.as_bytes())
+                .and_then(|()| active.file.flush());
+            if result.is_ok() {
+                active.len += line.len() as u64;
+            }
+            (result, active.segment, offset)
+        };
+        if let Err(e) = write_result {
+            // Claw the partial append back; if even that fails, retire the
+            // segment so the next save starts a fresh file.  Either way the
+            // torn record fails verification and is never indexed.
+            let truncated = inner
+                .active
+                .as_mut()
+                .is_some_and(|a| a.file.set_len(offset).is_ok());
+            if !truncated {
+                inner.active = None;
+            }
+            return Err(serde::Error::from(e));
+        }
+        let record_len = line.len() as u64 - 1;
+        let entry = IndexEntry {
+            canonical: key.canonical().to_string(),
+            segment,
+            offset,
+            len: record_len,
+        };
+        if let Some(old) = inner.index.insert(key.digest(), entry) {
+            inner.live_bytes -= old.len;
+        }
+        inner.live_bytes += record_len;
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Lifetime counters of this store handle.
+    /// Makes sure `inner.active` can take another `upcoming` bytes, creating
+    /// or rolling the segment file as needed.
+    fn ensure_active(&self, inner: &mut Inner, upcoming: u64) -> Result<(), std::io::Error> {
+        let roll = match &inner.active {
+            Some(active) => active.len > 0 && active.len + upcoming > SEGMENT_TARGET_BYTES,
+            None => true,
+        };
+        if !roll {
+            return Ok(());
+        }
+        let name = SegmentName {
+            generation: inner.generation,
+            pid: std::process::id(),
+            seq: next_segment_seq(),
+        };
+        let path = self.root.join(name.file_name());
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let len = file.metadata()?.len();
+        let segment = inner.segments.len();
+        inner.segments.push(path);
+        inner.active = Some(ActiveSegment { file, segment, len });
+        Ok(())
+    }
+
+    /// Builds a fresh `.tmp` path unique to this process *and* call, so
+    /// concurrent writers (threads or processes) never share one.
+    pub(crate) fn unique_tmp_path(&self, label: &str) -> PathBuf {
+        static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        self.root
+            .join(format!(".{label}-{}-{n}.{TMP_EXT}", std::process::id()))
+    }
+
+    /// Lifetime counters and a content snapshot of this store handle.
     pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            entries: inner.index.len() as u64,
+            segments: inner.segments.len() as u64,
+            generation: inner.generation,
+            live_bytes: inner.live_bytes,
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Hands out process-unique segment sequence numbers.  Sequence numbers
+/// are shared by every store handle in the process (not per-handle), so
+/// two handles opened on the same root can never compute the same
+/// `(generation, pid, seq)` and silently share — or truncate — one
+/// another's segment file.
+pub(crate) fn next_segment_seq() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Reads `len` bytes at `offset` of `path` as UTF-8.
+pub(crate) fn read_span(path: &Path, offset: u64, len: u64) -> std::io::Result<String> {
+    let mut file = File::open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len as usize];
+    file.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::design_point::DesignPoint;
+    use crate::segment::SEGMENT_EXT;
     use hpc_workloads::{Benchmark, GeneratorConfig};
 
-    fn temp_store(tag: &str) -> DiskStore {
+    fn temp_root(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "acmp-sweep-store-test-{tag}-{}",
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        DiskStore::open(dir).expect("temp store")
+        dir
+    }
+
+    fn temp_store(tag: &str) -> DiskStore {
+        DiskStore::open(temp_root(tag)).expect("temp store")
     }
 
     fn key(benchmark: Benchmark) -> JobKey {
@@ -161,15 +436,28 @@ mod tests {
         )
     }
 
+    fn segment_files(root: &Path) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(root)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(&format!(".{SEGMENT_EXT}")))
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
     #[test]
     fn save_then_load_round_trips() {
         let store = temp_store("roundtrip");
         let k = key(Benchmark::Cg);
         assert_eq!(store.load::<Vec<u64>>(&k), None);
         store.save(&k, &vec![1u64, 2, 3]).unwrap();
+        assert!(store.contains(&k));
         assert_eq!(store.load::<Vec<u64>>(&k), Some(vec![1, 2, 3]));
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.segments, 1);
     }
 
     #[test]
@@ -178,32 +466,180 @@ mod tests {
         let k = key(Benchmark::Lu);
         store.save(&k, &7u64).unwrap();
         let reopened = DiskStore::open(store.root().to_path_buf()).unwrap();
+        assert!(reopened.contains(&k));
         assert_eq!(reopened.load::<u64>(&k), Some(7));
+        // The reopened handle appends into a fresh generation.
+        assert_eq!(reopened.stats().generation, store.stats().generation + 1);
+    }
+
+    #[test]
+    fn many_entries_pack_into_one_segment() {
+        let store = temp_store("pack");
+        let generator = GeneratorConfig::small();
+        let mut designs = Vec::new();
+        for lb in 1..=50 {
+            designs.push(DesignPoint::baseline().with_line_buffers(lb));
+        }
+        for (i, d) in designs.iter().enumerate() {
+            let k = JobKey::new(&generator, Benchmark::Cg, d);
+            store.save(&k, &(i as u64)).unwrap();
+        }
+        assert_eq!(store.stats().entries, 50);
+        assert_eq!(
+            segment_files(store.root()).len(),
+            1,
+            "small entries must share one segment file"
+        );
+        for (i, d) in designs.iter().enumerate() {
+            let k = JobKey::new(&generator, Benchmark::Cg, d);
+            assert_eq!(store.load::<u64>(&k), Some(i as u64));
+        }
     }
 
     #[test]
     fn corrupt_and_mismatched_entries_are_misses() {
-        let store = temp_store("corrupt");
-        let k = key(Benchmark::Ep);
-        store.save(&k, &1u64).unwrap();
+        let root = temp_root("corrupt");
+        {
+            let store = DiskStore::open(&root).unwrap();
+            store.save(&key(Benchmark::Ep), &1u64).unwrap();
+            store.save(&key(Benchmark::Lu), &2u64).unwrap();
+        }
+        // Corrupt the first record's value bytes in place (same length, so
+        // the second record's span is untouched).
+        let seg = &segment_files(&root)[0];
+        let path = root.join(seg);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("\"value\":1", "\"value\":9", 1);
+        assert_ne!(text, corrupted, "fixture must actually corrupt a record");
+        std::fs::write(&path, corrupted).unwrap();
 
-        // Corrupt the file body.
-        let path = store.root().join(format!("{}.json", k.hex()));
-        std::fs::write(&path, "not json at all").unwrap();
-        assert_eq!(store.load::<u64>(&k), None);
-
-        // A syntactically valid envelope whose embedded key differs (a
-        // simulated digest collision) must also be rejected.
-        std::fs::write(&path, "{\"key\":\"something else\",\"value\":1}").unwrap();
-        assert_eq!(store.load::<u64>(&k), None);
+        let store = DiskStore::open(&root).unwrap();
+        // The corrupted record fails its checksum at open: not indexed.
+        assert!(!store.contains(&key(Benchmark::Ep)));
+        assert_eq!(store.load::<u64>(&key(Benchmark::Ep)), None);
+        // Its intact neighbour is unaffected.
+        assert_eq!(store.load::<u64>(&key(Benchmark::Lu)), Some(2));
     }
 
     #[test]
-    fn distinct_keys_use_distinct_files() {
+    fn distinct_keys_use_distinct_entries() {
         let store = temp_store("distinct");
         store.save(&key(Benchmark::Cg), &1u64).unwrap();
         store.save(&key(Benchmark::Lu), &2u64).unwrap();
         assert_eq!(store.load::<u64>(&key(Benchmark::Cg)), Some(1));
         assert_eq!(store.load::<u64>(&key(Benchmark::Lu)), Some(2));
+        assert_eq!(store.stats().entries, 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_writers_never_publish_a_torn_entry() {
+        // The regression this guards: the old layout derived one temporary
+        // file from (key, pid), so two threads saving the same key raced —
+        // one renamed while the other was mid-write, publishing torn bytes.
+        let store = temp_store("same-key-race");
+        let k = key(Benchmark::Cg);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let store = &store;
+                let k = &k;
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        store.save(k, &vec![t, i]).unwrap();
+                    }
+                });
+            }
+        });
+        // Whatever interleaving happened, the store holds one complete,
+        // verifiable entry for the key — both in this handle...
+        let live = store.load::<Vec<u64>>(&k).expect("a live entry survives");
+        assert_eq!(live.len(), 2);
+        assert_eq!(store.stats().writes, 128);
+        // ...and after a fresh open that re-verifies every record on disk.
+        let reopened = DiskStore::open(store.root().to_path_buf()).unwrap();
+        assert_eq!(
+            reopened
+                .load::<Vec<u64>>(&k)
+                .expect("still verifiable")
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn overwrites_keep_only_the_newest_value_live() {
+        let store = temp_store("overwrite");
+        let k = key(Benchmark::Cg);
+        store.save(&k, &1u64).unwrap();
+        let bytes_after_first = store.stats().live_bytes;
+        store.save(&k, &2u64).unwrap();
+        assert_eq!(store.load::<u64>(&k), Some(2));
+        let stats = store.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(
+            stats.live_bytes, bytes_after_first,
+            "live bytes must not count the dead first record"
+        );
+        // Reopening replays in order: the newer record still wins.
+        let reopened = DiskStore::open(store.root().to_path_buf()).unwrap();
+        assert_eq!(reopened.load::<u64>(&k), Some(2));
+    }
+
+    #[test]
+    fn generation_eviction_drops_old_generations_at_open() {
+        let root = temp_root("evict");
+        // Session 1 writes k1 into generation 1.
+        {
+            let store = DiskStore::open(&root).unwrap();
+            store.save(&key(Benchmark::Cg), &1u64).unwrap();
+        }
+        // Session 2 writes k2 into generation 2.
+        {
+            let store = DiskStore::open(&root).unwrap();
+            store.save(&key(Benchmark::Lu), &2u64).unwrap();
+        }
+        // A bounded open keeps only the newest generation: k1 is evicted,
+        // k2 survives, and the old segment file is gone from disk.
+        let store = DiskStore::open_limited(&root, Some(1)).unwrap();
+        assert_eq!(store.load::<u64>(&key(Benchmark::Cg)), None);
+        assert_eq!(store.load::<u64>(&key(Benchmark::Lu)), Some(2));
+        assert_eq!(store.stats().evicted, 1);
+        assert_eq!(segment_files(&root).len(), 1);
+        // An unbounded open never evicts.
+        let root2 = temp_root("evict-unbounded");
+        {
+            let store = DiskStore::open(&root2).unwrap();
+            store.save(&key(Benchmark::Cg), &1u64).unwrap();
+        }
+        let store = DiskStore::open(&root2).unwrap();
+        assert_eq!(store.stats().evicted, 0);
+        assert_eq!(store.load::<u64>(&key(Benchmark::Cg)), Some(1));
+    }
+
+    #[test]
+    fn two_handles_on_one_root_never_share_a_segment_file() {
+        // Both handles open before either writes, so they agree on the
+        // generation; the process-global sequence counter must still keep
+        // their segment files distinct (a shared file would corrupt both
+        // handles' index offsets).
+        let root = temp_root("two-handles");
+        let a = DiskStore::open(&root).unwrap();
+        let b = DiskStore::open(&root).unwrap();
+        a.save(&key(Benchmark::Cg), &1u64).unwrap();
+        b.save(&key(Benchmark::Lu), &2u64).unwrap();
+        a.save(&key(Benchmark::Ep), &3u64).unwrap();
+        assert_eq!(segment_files(&root).len(), 2, "one segment per handle");
+        assert_eq!(a.load::<u64>(&key(Benchmark::Cg)), Some(1));
+        assert_eq!(a.load::<u64>(&key(Benchmark::Ep)), Some(3));
+        assert_eq!(b.load::<u64>(&key(Benchmark::Lu)), Some(2));
+        // A fresh open sees all three entries from both files.
+        let merged = DiskStore::open(&root).unwrap();
+        assert_eq!(merged.stats().entries, 3);
+        assert_eq!(merged.load::<u64>(&key(Benchmark::Lu)), Some(2));
+    }
+
+    #[test]
+    fn generation_limit_env_is_parsed() {
+        // Only checks the parser, not the env (tests run in parallel).
+        assert_eq!(DiskStore::default_generation_limit(), None);
     }
 }

@@ -104,11 +104,60 @@ fn second_run_is_served_from_the_disk_store() {
         "warm run must hit the store for every cell: {}",
         warm.stderr
     );
+    assert!(
+        warm.stderr.contains("trace-gens 0"),
+        "warm run must not regenerate traces: {}",
+        warm.stderr
+    );
     assert_eq!(
         sorted_rows(&cold.stdout),
         sorted_rows(&warm.stdout),
         "warm rows must be byte-identical to cold rows"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_preserves_warm_starts_and_shrinks_the_directory() {
+    let dir = temp_dir("compact");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().unwrap();
+    let args = [
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--quiet",
+        "--cache-dir",
+        cache,
+    ];
+    let cold = run_sweep(&args);
+
+    // Standalone maintenance mode: compact the store, run nothing.
+    let compacted = run_sweep(&["--compact", "--cache-dir", cache]);
+    assert!(
+        compacted.stdout.contains("live entries"),
+        "{}",
+        compacted.stdout
+    );
+    assert!(compacted.stderr.is_empty(), "{}", compacted.stderr);
+
+    // The packed layout must use fewer files than one per entry: 6 result
+    // cells + 2 trace sets would have been 8 files in the old layout.
+    let files = std::fs::read_dir(cache).unwrap().count();
+    assert!(files < 8, "expected a packed store, found {files} files");
+
+    // A run from the compacted store is fully warm: zero simulations, zero
+    // trace generations, byte-identical rows.
+    let warm = run_sweep(&args);
+    assert!(warm.stderr.contains("simulated 0"), "{}", warm.stderr);
+    assert!(warm.stderr.contains("trace-gens 0"), "{}", warm.stderr);
+    assert!(warm.stderr.contains("disk-hits 6"), "{}", warm.stderr);
+    assert_eq!(sorted_rows(&cold.stdout), sorted_rows(&warm.stdout));
+
+    // --cache-stats reports without touching anything.
+    let stats = run_sweep(&["--cache-stats", "--cache-dir", cache]);
+    assert!(stats.stdout.contains("entries 8"), "{}", stats.stdout);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -56,8 +56,12 @@ fn main() {
     }
     let stats = ctx.stats();
     eprintln!(
-        "[engine] simulated {}, memory-hits {}, disk-hits {}",
-        stats.simulated, stats.memory_hits, stats.disk_hits
+        "[engine] simulated {}, memory-hits {}, disk-hits {}, trace-gens {}, trace-disk-hits {}",
+        stats.simulated,
+        stats.memory_hits,
+        stats.disk_hits,
+        stats.trace_generated,
+        stats.trace_disk_hits
     );
 }
 

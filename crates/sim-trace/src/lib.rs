@@ -45,7 +45,10 @@ pub mod stats;
 pub use addr::{line_addr, line_index, line_offset, InstrAddr, LineAddr};
 pub use fetch_block::{FetchBlock, FetchBlockBuilder};
 pub use record::{BranchInfo, Region, SyncEvent, TraceRecord};
-pub use serialize::{read_trace_json, write_trace_json, TraceSerializeError};
+pub use serialize::{
+    read_trace_json, read_trace_set_json, write_trace_json, write_trace_set_json,
+    TraceSerializeError, TRACE_FORMAT_VERSION,
+};
 pub use source::{ThreadId, ThreadTrace, TraceBuilder, TraceSet, TraceSource};
 pub use stats::{FootprintStats, RegionStats, SharingStats, TraceStats};
 

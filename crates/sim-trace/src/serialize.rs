@@ -7,7 +7,7 @@
 //! exchanging small traces between tools.
 
 use crate::record::TraceRecord;
-use crate::source::{ThreadId, ThreadTrace};
+use crate::source::{ThreadId, ThreadTrace, TraceSet};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -21,6 +21,29 @@ struct Header {
     format_version: u32,
     thread: ThreadId,
     num_records: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SetHeader {
+    format_version: u32,
+    num_threads: u64,
+}
+
+/// Rejects headers from a different format revision.
+fn check_version(format_version: u32) -> Result<(), TraceSerializeError> {
+    if format_version == TRACE_FORMAT_VERSION {
+        Ok(())
+    } else {
+        Err(TraceSerializeError::BadHeader(format!(
+            "unsupported format version {format_version} (expected {TRACE_FORMAT_VERSION})"
+        )))
+    }
+}
+
+/// Pre-allocation cap for header-promised counts: a lying header must fail
+/// through the `Truncated` check, not through a capacity-overflow abort.
+fn bounded_capacity(promised: u64) -> usize {
+    promised.min(4096) as usize
 }
 
 /// Error produced while reading or writing a serialised trace.
@@ -131,14 +154,9 @@ pub fn read_trace_json<R: BufRead>(reader: R) -> Result<ThreadTrace, TraceSerial
         .ok_or_else(|| TraceSerializeError::BadHeader("empty input".to_string()))??;
     let header: Header = serde_json::from_str(&header_line)
         .map_err(|e| TraceSerializeError::BadHeader(e.to_string()))?;
-    if header.format_version != TRACE_FORMAT_VERSION {
-        return Err(TraceSerializeError::BadHeader(format!(
-            "unsupported format version {} (expected {})",
-            header.format_version, TRACE_FORMAT_VERSION
-        )));
-    }
+    check_version(header.format_version)?;
 
-    let mut records: Vec<TraceRecord> = Vec::with_capacity(header.num_records as usize);
+    let mut records: Vec<TraceRecord> = Vec::with_capacity(bounded_capacity(header.num_records));
     for line in lines {
         let line = line?;
         if line.trim().is_empty() {
@@ -151,6 +169,82 @@ pub fn read_trace_json<R: BufRead>(reader: R) -> Result<ThreadTrace, TraceSerial
             expected: header.num_records,
             found: records.len() as u64,
         });
+    }
+    Ok(ThreadTrace::from_records(header.thread, records))
+}
+
+/// Writes a whole [`TraceSet`] to `writer`: a set header line carrying the
+/// thread count, followed by each per-thread trace in
+/// [`write_trace_json`]'s format.  This is the representation the sweep
+/// engine persists trace sets under, so a bump of
+/// [`TRACE_FORMAT_VERSION`] automatically invalidates stale stored traces.
+///
+/// # Errors
+///
+/// Returns an error if writing or JSON encoding fails.
+pub fn write_trace_set_json<W: Write>(
+    set: &TraceSet,
+    mut writer: W,
+) -> Result<(), TraceSerializeError> {
+    let header = SetHeader {
+        format_version: TRACE_FORMAT_VERSION,
+        num_threads: set.num_threads() as u64,
+    };
+    serde_json::to_writer(&mut writer, &header)?;
+    writer.write_all(b"\n")?;
+    for trace in set {
+        write_trace_json(trace, &mut writer)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace set previously written by [`write_trace_set_json`].
+///
+/// Unlike [`read_trace_json`], each thread section is bounded by the record
+/// count its header promises, so the sections need no separators.
+///
+/// # Errors
+///
+/// Returns an error if a header is missing/unsupported, a line cannot be
+/// parsed, or the input ends before the promised threads/records.
+pub fn read_trace_set_json<R: BufRead>(reader: R) -> Result<TraceSet, TraceSerializeError> {
+    let mut lines = reader.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| TraceSerializeError::BadHeader("empty input".to_string()))??;
+    let header: SetHeader = serde_json::from_str(&header_line)
+        .map_err(|e| TraceSerializeError::BadHeader(e.to_string()))?;
+    check_version(header.format_version)?;
+    let mut traces = Vec::with_capacity(bounded_capacity(header.num_threads));
+    for _ in 0..header.num_threads {
+        traces.push(read_one_trace(&mut lines)?);
+    }
+    Ok(TraceSet::new(traces))
+}
+
+/// Reads one thread section (header plus exactly the promised number of
+/// record lines) from a line stream.
+fn read_one_trace<I>(lines: &mut I) -> Result<ThreadTrace, TraceSerializeError>
+where
+    I: Iterator<Item = std::io::Result<String>>,
+{
+    let header_line = lines.next().ok_or(TraceSerializeError::Truncated {
+        expected: 1,
+        found: 0,
+    })??;
+    let header: Header = serde_json::from_str(&header_line)
+        .map_err(|e| TraceSerializeError::BadHeader(e.to_string()))?;
+    check_version(header.format_version)?;
+    let mut records: Vec<TraceRecord> = Vec::with_capacity(bounded_capacity(header.num_records));
+    while (records.len() as u64) < header.num_records {
+        let line = lines.next().ok_or(TraceSerializeError::Truncated {
+            expected: header.num_records,
+            found: records.len() as u64,
+        })??;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(serde_json::from_str(&line)?);
     }
     Ok(ThreadTrace::from_records(header.thread, records))
 }
@@ -223,6 +317,96 @@ mod tests {
         let err = read_trace_json(text.as_bytes()).unwrap_err();
         assert!(matches!(err, TraceSerializeError::Json(_)));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    fn sample_set() -> TraceSet {
+        let mut t0 = TraceBuilder::new(0);
+        t0.instr(0x100, 4);
+        t0.sync(SyncEvent::ParallelStart { num_threads: 2 });
+        t0.sync(SyncEvent::ParallelEnd);
+        let mut t1 = TraceBuilder::new(1);
+        t1.basic_block(0x2000, 5, 0x2000, false);
+        TraceSet::new(vec![t0.finish(), t1.finish()])
+    }
+
+    #[test]
+    fn set_roundtrip_preserves_every_thread() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_trace_set_json(&set, &mut buf).unwrap();
+        let back = read_trace_set_json(&buf[..]).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        let set = TraceSet::new(vec![]);
+        let mut buf = Vec::new();
+        write_trace_set_json(&set, &mut buf).unwrap();
+        assert_eq!(read_trace_set_json(&buf[..]).unwrap().num_threads(), 0);
+    }
+
+    #[test]
+    fn set_missing_threads_is_truncated() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_trace_set_json(&set, &mut buf).unwrap();
+        // Drop thread 1 entirely (its header and its single record line).
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.truncate(lines.len() - 2);
+        let err = read_trace_set_json(lines.join("\n").as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, TraceSerializeError::Truncated { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn absurd_header_counts_fail_cleanly_without_allocating() {
+        // A lying header must surface as Truncated, not as a
+        // capacity-overflow abort in Vec::with_capacity.
+        let input = format!(
+            "{}\n",
+            serde_json::json!({"format_version": 1, "num_threads": u64::MAX})
+        );
+        let err = read_trace_set_json(input.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, TraceSerializeError::Truncated { .. }),
+            "{err}"
+        );
+
+        let input = format!(
+            "{}\n{}\n",
+            serde_json::json!({"format_version": 1, "num_threads": 1}),
+            serde_json::json!({"format_version": 1, "thread": 0, "num_records": u64::MAX})
+        );
+        let err = read_trace_set_json(input.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, TraceSerializeError::Truncated { .. }),
+            "{err}"
+        );
+
+        let input = format!(
+            "{}\n",
+            serde_json::json!({"format_version": 1, "thread": 0, "num_records": u64::MAX})
+        );
+        let err = read_trace_json(input.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, TraceSerializeError::Truncated { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn set_wrong_version_is_rejected() {
+        let input = format!(
+            "{}\n",
+            serde_json::json!({"format_version": 99, "num_threads": 0})
+        );
+        let err = read_trace_set_json(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceSerializeError::BadHeader(_)));
+        assert!(read_trace_set_json(&b""[..]).is_err());
     }
 
     #[test]

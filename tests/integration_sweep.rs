@@ -87,6 +87,71 @@ fn disk_store_round_trip_preserves_the_rows() {
 }
 
 #[test]
+fn warm_engine_does_zero_trace_generation_across_processes() {
+    let dir = std::env::temp_dir().join(format!(
+        "acmp-sweep-integration-traces-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = SweepEngine::new(tiny_generator())
+        .with_disk_store(&dir)
+        .unwrap();
+    let cold_rows = sorted_jsonl(&cold);
+    assert_eq!(cold.stats().trace_generated, 3, "one per benchmark");
+
+    // A fresh engine is a stand-in for a fresh process: nothing in memory,
+    // everything from the segment store — no simulations, no trace
+    // generation, not even trace loads (warm cells never touch traces).
+    let warm = SweepEngine::new(tiny_generator())
+        .with_disk_store(&dir)
+        .unwrap();
+    let warm_rows = sorted_jsonl(&warm);
+    assert_eq!(warm.stats().simulated, 0);
+    assert_eq!(warm.stats().trace_generated, 0);
+    assert_eq!(warm.stats().trace_disk_hits, 0);
+    assert_eq!(cold_rows, warm_rows);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_preserves_rows_and_packs_the_directory() {
+    let dir = std::env::temp_dir().join(format!(
+        "acmp-sweep-integration-compact-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = SweepEngine::new(tiny_generator())
+        .with_disk_store(&dir)
+        .unwrap();
+    let cold_rows = sorted_jsonl(&cold);
+
+    let compacted = cold.store().unwrap().compact().unwrap();
+    // 9 result cells + 3 trace sets, all packed: far fewer files than the
+    // old one-file-per-entry layout's 12.
+    assert_eq!(compacted.live_entries, 12);
+    let files = std::fs::read_dir(&dir).unwrap().count();
+    assert!(
+        (files as u64) == compacted.segments_after && files < 12,
+        "expected only packed segments, found {files} files"
+    );
+
+    // The compacted store serves a fresh engine byte-identically, still
+    // with zero simulations and zero trace generations.
+    let warm = SweepEngine::new(tiny_generator())
+        .with_disk_store(&dir)
+        .unwrap();
+    let warm_rows = sorted_jsonl(&warm);
+    assert_eq!(warm.stats().simulated, 0);
+    assert_eq!(warm.stats().trace_generated, 0);
+    assert_eq!(cold_rows, warm_rows);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn grid_spec_drives_the_engine() {
     let spec = GridSpec::parse("cg,lu", "baseline,lb:8").unwrap();
     let engine = SweepEngine::new(tiny_generator());
