@@ -5,30 +5,49 @@
 //! sweep --benchmarks all --designs fig12 --workers 8
 //! sweep --benchmarks cg,lu --designs baseline,proposed --out rows.jsonl
 //! sweep --grid fig07 --scale paper --cache-dir /tmp/sweep-cache
+//! sweep --grid fig09 --shards 3              # 3 shard processes, merged output
+//! sweep --grid fig09 --shard 2/3             # this process runs shard 2 only
 //! sweep --compact                            # merge the store into one generation
 //! sweep --cache-stats                        # inspect the store, run nothing
 //! ```
 //!
-//! Result rows stream as JSONL (stdout by default, `--out FILE` otherwise);
-//! progress and the final summary go to stderr, so piping stdout yields
-//! pure JSONL.  The summary includes the cache counters; a second identical
-//! invocation with the same `--cache-dir` reports `disk-hits > 0`, zero
-//! simulations, zero trace generations, and produces byte-identical rows.
+//! Result rows stream as JSONL (stdout by default, `--out FILE` otherwise)
+//! in stable digest order — every line starts with the fixed-width hex job
+//! key, so byte order is key order; progress and the final summary go to
+//! stderr, so piping stdout yields pure JSONL.  The summary includes the
+//! cache counters; a second identical invocation with the same
+//! `--cache-dir` reports `disk-hits > 0`, zero simulations, zero trace
+//! generations, and produces byte-identical rows.
+//!
+//! `--shards N` splits the grid across N child `sweep` processes by stable
+//! job-key digest: the children share the cache directory (their appends
+//! never collide and no cell is simulated twice), their stderr streams
+//! here with a `[shard i/N]` prefix, and their digest-ordered row streams
+//! are k-way merged — validated against the expected key schedule — into
+//! output byte-identical to an unsharded run.  `--shard i/N` runs a single
+//! shard in this process (what the coordinator spawns, and what a manual
+//! multi-terminal or multi-machine run uses directly).
 //!
 //! `--compact` and `--cache-stats` are maintenance modes: they operate on
 //! the store named by `--cache-dir` (or the default) and exit without
 //! running a grid.
 
-use acmp_sweep::{DiskStore, GridSpec, SweepEngine};
+use acmp_sweep::merge::{merge_shard_streams, shard_key_schedule, MergeError};
+use acmp_sweep::{DiskStore, GridSpec, JobKey, ShardSpec, SweepEngine, WorkStealingPool};
 use hpc_workloads::GeneratorConfig;
 use std::io::Write;
+use std::path::PathBuf;
 
 const USAGE: &str = "\
 usage: sweep [options]
   --benchmarks SPEC   all | quick | comma list of names     (default: quick)
   --designs SPEC      design spec (see below)               (default: baseline,proposed)
   --grid PRESET       shorthand for --designs PRESET
-  --workers N         pool threads                          (default: nproc)
+  --workers N         pool threads                          (default: nproc, or $ACMP_SWEEP_WORKERS)
+  --shards N          run the grid as N shard processes sharing the cache,
+                      then merge their rows (byte-identical to unsharded)
+  --shard I/N         run only the cells whose stable key digest d has
+                      d % N == I-1 (1-based I)
   --scale S           quick | paper trace scale             (default: quick)
   --out FILE          write JSONL rows to FILE              (default: stdout)
   --cache-dir DIR     on-disk result store                  (default: target/sweep-cache)
@@ -45,6 +64,8 @@ struct Options {
     benchmarks: String,
     designs: String,
     workers: Option<usize>,
+    shards: Option<u32>,
+    shard: Option<ShardSpec>,
     scale: String,
     out: Option<String>,
     cache_dir: Option<String>,
@@ -59,6 +80,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         benchmarks: "quick".to_string(),
         designs: "baseline,proposed".to_string(),
         workers: None,
+        shards: None,
+        shard: None,
         scale: "quick".to_string(),
         out: None,
         cache_dir: None,
@@ -87,6 +110,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .ok_or_else(|| format!("bad worker count `{v}`"))?,
                 );
             }
+            "--shards" => {
+                let v = value("--shards")?;
+                opts.shards = Some(
+                    v.parse::<u32>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad shard count `{v}`"))?,
+                );
+            }
+            "--shard" => {
+                let v = value("--shard")?;
+                opts.shard =
+                    Some(ShardSpec::parse(&v).map_err(|e| format!("bad --shard `{v}`: {e}"))?);
+            }
             "--scale" => {
                 let v = value("--scale")?;
                 if v != "quick" && v != "paper" {
@@ -104,6 +141,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option `{other}`")),
         }
     }
+    if opts.shard.is_some() && opts.shards.is_some() {
+        return Err("--shard and --shards are mutually exclusive".to_string());
+    }
     Ok(opts)
 }
 
@@ -117,6 +157,40 @@ fn generator(scale: &str) -> GeneratorConfig {
             seed: 0xC0FF_EE00,
         },
     }
+}
+
+/// The store directory the run will use (ignoring `--no-disk-cache`).
+fn cache_root(opts: &Options) -> PathBuf {
+    opts.cache_dir
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(DiskStore::default_root)
+}
+
+/// Opens the JSONL sink (`--out FILE` or stdout), exiting on failure.
+fn open_sink(out: Option<&String>) -> Box<dyn Write> {
+    match out {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("sweep: cannot create {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    }
+}
+
+/// Exits non-zero after a failed row write or flush.  A broken pipe —
+/// `sweep … | head` closing stdout early — exits *quietly*: the non-zero
+/// status still marks the stream as truncated (a silent exit 0 would look
+/// exactly like a successful short run), but there is no point spamming
+/// every pipeline that legitimately stops reading early.
+fn die_on_write_error(e: &std::io::Error) -> ! {
+    if e.kind() != std::io::ErrorKind::BrokenPipe {
+        eprintln!("sweep: write failed: {e}");
+    }
+    std::process::exit(1);
 }
 
 fn main() {
@@ -133,50 +207,8 @@ fn main() {
         }
     };
 
-    // Store maintenance modes: no grid, no engine.
     if opts.compact || opts.cache_stats {
-        let root = opts
-            .cache_dir
-            .clone()
-            .map(std::path::PathBuf::from)
-            .unwrap_or_else(DiskStore::default_root);
-        let store = match DiskStore::open(&root) {
-            Ok(store) => store,
-            Err(e) => {
-                eprintln!("sweep: cannot open cache dir {}: {e}", root.display());
-                std::process::exit(1);
-            }
-        };
-        if opts.compact {
-            match store.compact() {
-                Ok(cs) => println!(
-                    "compacted {}: {} live entries into generation {} ({} -> {} segments, {} -> {} bytes, removed {} dead segments, {} tmp files)",
-                    root.display(),
-                    cs.live_entries,
-                    cs.generation,
-                    cs.segments_before,
-                    cs.segments_after,
-                    cs.bytes_before,
-                    cs.bytes_after,
-                    cs.removed_segments,
-                    cs.removed_tmp,
-                ),
-                Err(e) => {
-                    eprintln!("sweep: compaction of {} failed: {e}", root.display());
-                    std::process::exit(1);
-                }
-            }
-        }
-        let stats = store.stats();
-        println!(
-            "cache {}: entries {}, segments {}, generation {}, live-bytes {}, evicted {}",
-            root.display(),
-            stats.entries,
-            stats.segments,
-            stats.generation,
-            stats.live_bytes,
-            stats.evicted,
-        );
+        run_maintenance(&opts);
         return;
     }
 
@@ -188,16 +220,63 @@ fn main() {
         }
     };
 
-    let mut engine = SweepEngine::new(generator(&opts.scale));
+    match opts.shards {
+        Some(shards) => run_coordinator(&opts, &grid, shards),
+        None => run_grid(&opts, &grid),
+    }
+}
+
+/// Store maintenance modes: no grid, no engine.
+fn run_maintenance(opts: &Options) {
+    let root = cache_root(opts);
+    let store = match DiskStore::open(&root) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("sweep: cannot open cache dir {}: {e}", root.display());
+            std::process::exit(1);
+        }
+    };
+    if opts.compact {
+        match store.compact() {
+            Ok(cs) => println!(
+                "compacted {}: {} live entries into generation {} ({} -> {} segments, {} -> {} bytes, removed {} dead segments, {} tmp files)",
+                root.display(),
+                cs.live_entries,
+                cs.generation,
+                cs.segments_before,
+                cs.segments_after,
+                cs.bytes_before,
+                cs.bytes_after,
+                cs.removed_segments,
+                cs.removed_tmp,
+            ),
+            Err(e) => {
+                eprintln!("sweep: compaction of {} failed: {e}", root.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    let stats = store.stats();
+    println!(
+        "cache {}: entries {}, segments {}, generation {}, live-bytes {}, evicted {}",
+        root.display(),
+        stats.entries,
+        stats.segments,
+        stats.generation,
+        stats.live_bytes,
+        stats.evicted,
+    );
+}
+
+/// Runs the grid (or one shard of it) in this process.
+fn run_grid(opts: &Options, grid: &GridSpec) {
+    let shard = opts.shard.unwrap_or_else(ShardSpec::whole);
+    let mut engine = SweepEngine::new(generator(&opts.scale)).with_shard(shard);
     if let Some(n) = opts.workers {
         engine = engine.with_threads(n);
     }
     if opts.disk_cache {
-        let root = opts
-            .cache_dir
-            .clone()
-            .map(std::path::PathBuf::from)
-            .unwrap_or_else(DiskStore::default_root);
+        let root = cache_root(opts);
         engine = match engine.with_disk_store_limited(&root, DiskStore::default_generation_limit())
         {
             Ok(engine) => engine,
@@ -208,22 +287,30 @@ fn main() {
         };
     }
 
-    let mut sink: Box<dyn Write> = match &opts.out {
-        Some(path) => match std::fs::File::create(path) {
-            Ok(f) => Box::new(std::io::BufWriter::new(f)),
-            Err(e) => {
-                eprintln!("sweep: cannot create {path}: {e}");
-                std::process::exit(1);
-            }
-        },
-        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    // One enumeration feeds everything: the owned-cell count below, the
+    // jobs the engine runs, and — in the coordinator — the key schedule
+    // the merge validates against, so the three can never drift apart.
+    let jobs = grid.jobs();
+    let total = if shard.is_whole() {
+        jobs.len()
+    } else {
+        jobs.iter()
+            .filter(|job| shard.owns(job.key(engine.generator()).digest()))
+            .count()
     };
 
+    let mut sink = open_sink(opts.out.as_ref());
+
     eprintln!(
-        "sweep: {} benchmarks × {} designs = {} jobs on {} workers ({} scale{})",
+        "sweep: {} benchmarks × {} designs = {} jobs{} on {} workers ({} scale{})",
         grid.benchmarks.len(),
         grid.designs.len(),
         grid.cells(),
+        if shard.is_whole() {
+            String::new()
+        } else {
+            format!(", shard {shard} owns {total}")
+        },
         engine.threads(),
         opts.scale,
         engine
@@ -233,11 +320,10 @@ fn main() {
     );
 
     let start = std::time::Instant::now();
-    let total = grid.cells();
     let done = std::sync::atomic::AtomicUsize::new(0);
     // Progress streams from the worker threads as each cell finishes; the
-    // JSONL rows themselves are written afterwards in stable input order.
-    let outcome = engine.run_grid_with(&grid.benchmarks, &grid.designs, |row| {
+    // JSONL rows themselves are written afterwards in stable digest order.
+    let outcome = engine.run_jobs_with(jobs, |row| {
         let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
         if !opts.quiet {
             eprintln!(
@@ -248,22 +334,28 @@ fn main() {
     });
     let wall = start.elapsed().as_secs_f64();
 
-    for row in &outcome.rows {
-        if let Err(e) = writeln!(sink, "{}", row.to_jsonl()) {
-            eprintln!("sweep: write failed: {e}");
-            std::process::exit(1);
+    // Rows are emitted sorted by line bytes — digest order, since every
+    // line starts with the fixed-width hex job key.  A shard's stream is
+    // therefore a sorted sub-sequence of the unsharded output, which is
+    // what lets the coordinator's validated k-way merge reproduce the
+    // unsharded bytes exactly.
+    let mut lines: Vec<String> = outcome.rows.iter().map(|row| row.to_jsonl()).collect();
+    lines.sort_unstable();
+    for line in &lines {
+        if let Err(e) = writeln!(sink, "{line}") {
+            die_on_write_error(&e);
         }
     }
     if let Err(e) = sink.flush() {
-        eprintln!("sweep: flush failed: {e}");
-        std::process::exit(1);
+        die_on_write_error(&e);
     }
 
     let stats = engine.stats();
     eprintln!(
-        "sweep: done in {wall:.2}s — jobs {total}, simulated {}, memory-hits {}, disk-hits {}, trace-gens {}, trace-disk-hits {}, steals {}, injector-pops {}",
-        stats.simulated, stats.memory_hits, stats.disk_hits, stats.trace_generated,
-        stats.trace_disk_hits, outcome.pool.steals, outcome.pool.injector_pops,
+        "sweep: done in {wall:.2}s — jobs {total}, workers {}, simulated {}, memory-hits {}, disk-hits {}, trace-gens {}, trace-disk-hits {}, steals {}, injector-pops {}",
+        engine.threads(), stats.simulated, stats.memory_hits, stats.disk_hits,
+        stats.trace_generated, stats.trace_disk_hits, outcome.pool.steals,
+        outcome.pool.injector_pops,
     );
     if let Some(store) = stats.store {
         eprintln!(
@@ -271,4 +363,173 @@ fn main() {
             store.hits, store.misses, store.writes, store.entries, store.segments, store.generation
         );
     }
+}
+
+/// Spawns `shards` child shard processes over one store and merges their
+/// row streams into output byte-identical to an unsharded run.
+fn run_coordinator(opts: &Options, grid: &GridSpec, shards: u32) {
+    let generator = generator(&opts.scale);
+    let keys: Vec<JobKey> = grid.jobs().iter().map(|job| job.key(&generator)).collect();
+    let schedule = shard_key_schedule(&keys, shards);
+
+    // Shards split the host between them instead of each sizing its pool
+    // to the whole machine.
+    let budget = opts
+        .workers
+        .unwrap_or_else(|| WorkStealingPool::host_sized().workers());
+    let per_shard = (budget / shards as usize).max(1);
+
+    let store_root = opts.disk_cache.then(|| cache_root(opts));
+    let exe = match std::env::current_exe() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("sweep: cannot locate the sweep binary: {e}");
+            std::process::exit(1);
+        }
+    };
+    let shard_dir = std::env::temp_dir().join(format!("sweep-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&shard_dir);
+    if let Err(e) = std::fs::create_dir_all(&shard_dir) {
+        eprintln!("sweep: cannot create {}: {e}", shard_dir.display());
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "sweep: {} benchmarks × {} designs = {} jobs across {shards} shard processes, {per_shard} workers each ({} scale{})",
+        grid.benchmarks.len(),
+        grid.designs.len(),
+        grid.cells(),
+        opts.scale,
+        store_root
+            .as_ref()
+            .map(|root| format!(", cache {}", root.display()))
+            .unwrap_or_else(|| ", no disk cache".to_string()),
+    );
+
+    let start = std::time::Instant::now();
+    let mut children: Vec<(u32, std::process::Child, PathBuf)> = Vec::new();
+    for i in 1..=shards {
+        let out_path = shard_dir.join(format!("shard-{i}.jsonl"));
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--benchmarks")
+            .arg(&opts.benchmarks)
+            .arg("--designs")
+            .arg(&opts.designs)
+            .arg("--scale")
+            .arg(&opts.scale)
+            .arg("--shard")
+            .arg(format!("{i}/{shards}"))
+            .arg("--workers")
+            .arg(per_shard.to_string())
+            .arg("--out")
+            .arg(&out_path)
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::piped());
+        match &store_root {
+            Some(root) => {
+                cmd.arg("--cache-dir").arg(root);
+            }
+            None => {
+                cmd.arg("--no-disk-cache");
+            }
+        }
+        if opts.quiet {
+            cmd.arg("--quiet");
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push((i, child, out_path)),
+            Err(e) => {
+                eprintln!("sweep: cannot spawn shard {i}/{shards}: {e}");
+                for (_, child, _) in &mut children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                let _ = std::fs::remove_dir_all(&shard_dir);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Relay every child's stderr (progress and summary lines) with a shard
+    // prefix, live, while waiting for them all to finish.
+    let mut relays = Vec::new();
+    for (i, child, _) in &mut children {
+        relays.push((*i, child.stderr.take().expect("stderr was piped")));
+    }
+    let mut failed = false;
+    std::thread::scope(|scope| {
+        for (i, stderr) in relays {
+            scope.spawn(move || {
+                use std::io::BufRead;
+                for line in std::io::BufReader::new(stderr).lines() {
+                    let Ok(line) = line else { break };
+                    eprintln!("[shard {i}/{shards}] {line}");
+                }
+            });
+        }
+        for (i, child, _) in &mut children {
+            match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => {
+                    eprintln!("sweep: shard {i}/{shards} failed: {status}");
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("sweep: waiting for shard {i}/{shards} failed: {e}");
+                    failed = true;
+                }
+            }
+        }
+    });
+    if failed {
+        let _ = std::fs::remove_dir_all(&shard_dir);
+        std::process::exit(1);
+    }
+
+    let mut streams = Vec::with_capacity(children.len());
+    for (i, _, path) in &children {
+        match std::fs::File::open(path) {
+            Ok(f) => streams.push(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!(
+                    "sweep: shard {i}/{shards} left no row stream at {}: {e}",
+                    path.display()
+                );
+                let _ = std::fs::remove_dir_all(&shard_dir);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Merge into memory first: the merge validates every stream against
+    // the expected key schedule, and the `--out` target (possibly a
+    // previous run's good output) must not even be opened — let alone
+    // truncated — unless every stream checked out.  Any error down here is
+    // a read-side failure (corrupt stream or shard-file I/O): report it
+    // and keep the shard streams on disk for post-mortem.
+    let mut merged: Vec<u8> = Vec::new();
+    let rows = match merge_shard_streams(streams, &schedule, &mut merged) {
+        Ok(rows) => rows,
+        Err(e @ MergeError::Corrupt { .. }) => {
+            eprintln!("sweep: merge failed: {e}");
+            eprintln!("sweep: shard streams kept in {}", shard_dir.display());
+            std::process::exit(1);
+        }
+        Err(MergeError::Io(e)) => {
+            eprintln!("sweep: reading a shard stream failed: {e}");
+            eprintln!("sweep: shard streams kept in {}", shard_dir.display());
+            std::process::exit(1);
+        }
+    };
+    let _ = std::fs::remove_dir_all(&shard_dir);
+
+    let mut sink = open_sink(opts.out.as_ref());
+    if let Err(e) = sink.write_all(&merged).and_then(|()| sink.flush()) {
+        die_on_write_error(&e);
+    }
+    eprintln!(
+        "sweep: merged {shards} shard streams — {rows} rows in {:.2}s",
+        start.elapsed().as_secs_f64()
+    );
 }

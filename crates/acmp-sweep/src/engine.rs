@@ -1,7 +1,7 @@
 //! The sweep engine: cached, parallel execution of simulation grids.
 
 use crate::design_point::DesignPoint;
-use crate::job::{JobKey, SweepJob};
+use crate::job::{JobKey, ShardSpec, SweepJob};
 use crate::scheduler::{PoolStats, WorkStealingPool};
 use crate::sharded::ShardedMap;
 use crate::store::{DiskStore, StoreStats};
@@ -92,6 +92,7 @@ pub struct SweepOutcome {
 #[derive(Debug)]
 pub struct SweepEngine {
     generator: GeneratorConfig,
+    shard: ShardSpec,
     pool: WorkStealingPool,
     traces: ShardedMap<Benchmark, Arc<TraceSet>>,
     results: ShardedMap<JobKey, Arc<SimResult>>,
@@ -111,6 +112,7 @@ impl SweepEngine {
         generator.validate();
         SweepEngine {
             generator,
+            shard: ShardSpec::whole(),
             pool: WorkStealingPool::host_sized(),
             traces: ShardedMap::new(),
             results: ShardedMap::new(),
@@ -127,6 +129,22 @@ impl SweepEngine {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.pool = WorkStealingPool::new(threads);
+        self
+    }
+
+    /// Restricts the engine to the slice of the job keyspace owned by
+    /// `shard`: grid and job-list runs silently skip cells owned by other
+    /// shards and return rows only for owned cells.  Direct
+    /// [`simulate`](Self::simulate) calls are *not* filtered — the shard
+    /// decides what a grid schedules, not what the engine can compute.
+    ///
+    /// Ownership is `digest % count` over the job key's stable content
+    /// hash, so N engines configured with the N distinct shards of one
+    /// `count` — in any mix of threads, processes or machines — partition
+    /// the grid exactly: every cell runs in exactly one of them.
+    #[must_use]
+    pub fn with_shard(mut self, shard: ShardSpec) -> Self {
+        self.shard = shard;
         self
     }
 
@@ -192,6 +210,13 @@ impl SweepEngine {
     #[must_use]
     pub fn store(&self) -> Option<&DiskStore> {
         self.store.as_ref()
+    }
+
+    /// The keyspace shard this engine runs (the whole keyspace unless
+    /// [`with_shard`](Self::with_shard) narrowed it).
+    #[must_use]
+    pub fn shard(&self) -> ShardSpec {
+        self.shard
     }
 
     /// Returns (loading or generating and caching on first use) the trace
@@ -322,12 +347,16 @@ impl SweepEngine {
     where
         C: Fn(&SweepRow) + Sync,
     {
+        // Cells owned by other shards are dropped here, before anything is
+        // scheduled: a shard neither simulates them nor prefetches traces
+        // a foreign-only benchmark would need.
         let keyed: Vec<(SweepJob, JobKey)> = jobs
             .into_iter()
             .map(|job| {
                 let key = job.key(&self.generator);
                 (job, key)
             })
+            .filter(|(_, key)| self.shard.owns(key.digest()))
             .collect();
 
         // Materialise traces up front — one pool job per distinct benchmark
@@ -469,6 +498,42 @@ mod tests {
         let before = engine.stats().simulated;
         engine.run_grid(&benchmarks, &designs);
         assert_eq!(engine.stats().simulated, before);
+    }
+
+    #[test]
+    fn sharded_engines_partition_the_grid_exactly() {
+        let benchmarks = [Benchmark::Cg, Benchmark::Lu];
+        let designs = [
+            DesignPoint::baseline(),
+            DesignPoint::proposed(),
+            DesignPoint::all_shared(),
+        ];
+        let mut full: Vec<String> = small_engine()
+            .run_grid(&benchmarks, &designs)
+            .rows
+            .iter()
+            .map(SweepRow::to_jsonl)
+            .collect();
+        full.sort_unstable();
+
+        for count in [1u32, 2, 3, 4] {
+            let mut union: Vec<String> = Vec::new();
+            let mut simulated = 0;
+            for index in 0..count {
+                let shard = ShardSpec::new(index, count).unwrap();
+                let engine = small_engine().with_shard(shard);
+                assert_eq!(engine.shard(), shard);
+                let outcome = engine.run_grid(&benchmarks, &designs);
+                assert_eq!(outcome.pool.jobs, outcome.rows.len());
+                union.extend(outcome.rows.iter().map(SweepRow::to_jsonl));
+                simulated += engine.stats().simulated;
+            }
+            union.sort_unstable();
+            assert_eq!(union, full, "{count} shards must cover the grid");
+            // Disjoint ownership: the six cells simulate exactly once in
+            // total, no matter how many shards split them.
+            assert_eq!(simulated, 6, "no double work across {count} shards");
+        }
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //!     sweeps.
 
 use crate::design_point::DesignPoint;
+use crate::job::SweepJob;
+use crate::stable_hash;
 use hpc_workloads::Benchmark;
 use sim_acmp::BusWidth;
+use std::collections::HashSet;
 
 /// A parsed `benchmarks × designs` grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +56,24 @@ impl GridSpec {
     #[must_use]
     pub fn cells(&self) -> usize {
         self.benchmarks.len() * self.designs.len()
+    }
+
+    /// The grid's cells as an explicit benchmark-major job list — the same
+    /// order [`SweepEngine::run_grid`](crate::SweepEngine::run_grid)
+    /// schedules.  This is how the sharded CLI computes, without running
+    /// anything, which cells each shard owns and which keys its row stream
+    /// must carry.
+    #[must_use]
+    pub fn jobs(&self) -> Vec<SweepJob> {
+        self.benchmarks
+            .iter()
+            .flat_map(|&benchmark| {
+                self.designs.iter().map(move |design| SweepJob {
+                    benchmark,
+                    design: design.clone(),
+                })
+            })
+            .collect()
     }
 }
 
@@ -91,14 +112,19 @@ fn parse_designs(spec: &str) -> Result<Vec<DesignPoint>, String> {
         designs.extend(parse_design_token(token)?);
     }
     // A preset plus an explicit point may both name the baseline; keep the
-    // first occurrence of each distinct point.
-    let mut seen: Vec<DesignPoint> = Vec::new();
+    // first occurrence of each distinct point.  Identity is the point's
+    // canonical serialized form — the same content the job key hashes — so
+    // the dedup is a hashed O(n) pass; the old `Vec::contains` scan over
+    // full struct equality was O(n²), which generator tokens like `naive:8`
+    // stacked with large `shared:` grids turned into real parse time.
+    let mut seen: HashSet<String> = HashSet::with_capacity(designs.len());
+    let mut deduped: Vec<DesignPoint> = Vec::with_capacity(designs.len());
     for d in designs {
-        if !seen.contains(&d) {
-            seen.push(d);
+        if seen.insert(stable_hash::canonical_json(&d)) {
+            deduped.push(d);
         }
     }
-    Ok(seen)
+    Ok(deduped)
 }
 
 fn parse_design_token(token: &str) -> Result<Vec<DesignPoint>, String> {
@@ -279,9 +305,46 @@ mod tests {
     }
 
     #[test]
+    fn generator_tokens_dedup_against_presets_and_named_points() {
+        // `naive:8` re-derives a fig07 member, `shared:16:4:double` is
+        // `proposed` — the hashed dedup must fold them like the old scan.
+        let d = parse_designs("fig07,naive:8,proposed,shared:16:4:double").unwrap();
+        assert_eq!(d.len(), 5, "{d:?}");
+        // Repeated identical tokens collapse to one point.
+        assert_eq!(parse_designs("lb:8,lb:8,lb:8").unwrap().len(), 1);
+        // Near-duplicates differing in any field survive.
+        assert_eq!(
+            parse_designs("shared:16:4:double,shared:16:4:single")
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
     fn grid_reports_cell_count() {
         let g = GridSpec::parse("cg,lu", "fig09").unwrap();
         assert_eq!(g.cells(), 6);
         assert!(GridSpec::parse("", "fig09").is_err());
+    }
+
+    #[test]
+    fn jobs_enumerate_cells_benchmark_major() {
+        let g = GridSpec::parse("cg,lu", "baseline,proposed").unwrap();
+        let jobs = g.jobs();
+        assert_eq!(jobs.len(), g.cells());
+        let cells: Vec<(Benchmark, &str)> = jobs
+            .iter()
+            .map(|j| (j.benchmark, j.design.name.as_str()))
+            .collect();
+        assert_eq!(
+            cells,
+            vec![
+                (Benchmark::Cg, "baseline"),
+                (Benchmark::Cg, "cpc8-16K-4lb-double"),
+                (Benchmark::Lu, "baseline"),
+                (Benchmark::Lu, "cpc8-16K-4lb-double"),
+            ]
+        );
     }
 }

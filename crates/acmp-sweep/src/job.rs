@@ -91,6 +91,100 @@ impl JobKey {
     }
 }
 
+/// One slice of the job keyspace, for multi-process sweeps.
+///
+/// Shards partition jobs by `digest % count`.  The digest is the stable
+/// FNV-1a content hash of the canonical job key, so every process — on any
+/// machine — agrees on which shard owns a job without any coordination,
+/// and the union of all `count` shards covers the keyspace exactly once:
+/// no cell is ever simulated twice across a sharded run.
+///
+/// The CLI grammar is `i/N` with 1-based `i` (`--shard 2/3` is the second
+/// of three shards); internally the index is 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: u32,
+    count: u32,
+}
+
+impl ShardSpec {
+    /// The trivial single-shard spec that owns every job.
+    #[must_use]
+    pub fn whole() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// Shard `index` (0-based) of `count`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when `count` is zero or `index` is
+    /// out of range.
+    pub fn new(index: u32, count: u32) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be ≥ 1".to_string());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shards"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses the CLI grammar `i/N` with 1-based `i` (e.g. `2/3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for anything that is not `i/N`
+    /// with `1 ≤ i ≤ N`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (index, count) = spec
+            .split_once('/')
+            .ok_or_else(|| format!("expected `i/N`, got `{spec}`"))?;
+        let index: u32 = index
+            .parse()
+            .map_err(|_| format!("bad shard index in `{spec}`"))?;
+        let count: u32 = count
+            .parse()
+            .map_err(|_| format!("bad shard count in `{spec}`"))?;
+        if index == 0 {
+            return Err(format!("shard index is 1-based, got `{spec}`"));
+        }
+        Self::new(index - 1, count)
+    }
+
+    /// The 0-based shard index.
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// How many shards the keyspace is split into.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether this is the trivial 1-of-1 spec owning everything.
+    #[must_use]
+    pub fn is_whole(&self) -> bool {
+        self.count == 1
+    }
+
+    /// Whether this shard owns the job with the given stable digest.
+    #[must_use]
+    pub fn owns(&self, digest: u64) -> bool {
+        digest % u64::from(self.count) == u64::from(self.index)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index + 1, self.count)
+    }
+}
+
 // Equality and hashing go through the full canonical form, not the digest:
 // a (vanishingly unlikely) digest collision must not merge two distinct
 // jobs in the in-memory cache.
@@ -174,6 +268,31 @@ mod tests {
             JobKey::for_traces(&generator(), Benchmark::Cg),
             JobKey::for_traces(&generator(), Benchmark::Cg)
         );
+    }
+
+    #[test]
+    fn shard_specs_parse_the_cli_grammar() {
+        let s = ShardSpec::parse("2/3").unwrap();
+        assert_eq!((s.index(), s.count()), (1, 3));
+        assert_eq!(s.to_string(), "2/3");
+        assert!(!s.is_whole());
+        assert_eq!(ShardSpec::parse("1/1").unwrap(), ShardSpec::whole());
+        assert!(ShardSpec::whole().is_whole());
+        for bad in ["0/3", "4/3", "1-3", "x/3", "1/x", "1/0", "", "2/"] {
+            assert!(ShardSpec::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn every_digest_is_owned_by_exactly_one_shard() {
+        for count in [1u32, 2, 3, 7] {
+            for digest in [0u64, 1, 41, 0xdead_beef, u64::MAX] {
+                let owners = (0..count)
+                    .filter(|&i| ShardSpec::new(i, count).unwrap().owns(digest))
+                    .count();
+                assert_eq!(owners, 1, "digest {digest:#x} across {count} shards");
+            }
+        }
     }
 
     #[test]

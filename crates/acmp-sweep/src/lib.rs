@@ -22,7 +22,12 @@
 //! * [`SweepEngine`] — ties the three together behind
 //!   [`simulate`](SweepEngine::simulate) / [`run_grid`](SweepEngine::run_grid);
 //! * [`GridSpec`] — the `benchmarks × designs` spec grammar of the `sweep`
-//!   CLI binary (`cargo run -p acmp-sweep --release --bin sweep`).
+//!   CLI binary (`cargo run -p acmp-sweep --release --bin sweep`);
+//! * [`ShardSpec`] + [`merge`] — multi-process sharding: jobs partition by
+//!   the stable digest of their [`JobKey`] (`--shard i/N`), shard processes
+//!   share one disk store (per-process segment files, index refresh on
+//!   miss), and the coordinator (`--shards N`) k-way merges the per-shard
+//!   JSONL streams back into the exact bytes an unsharded run emits.
 //!
 //! [`DesignPoint`] (the machine configurations the paper evaluates) lives
 //! here too, so the engine, the CLI and the spec grammar can name design
@@ -33,6 +38,7 @@ pub mod design_point;
 pub mod engine;
 pub mod grid;
 pub mod job;
+pub mod merge;
 pub mod scheduler;
 pub mod segment;
 pub mod sharded;
@@ -43,7 +49,8 @@ pub use compact::CompactStats;
 pub use design_point::DesignPoint;
 pub use engine::{EngineStats, SweepEngine, SweepOutcome, SweepRow};
 pub use grid::GridSpec;
-pub use job::{JobKey, SweepJob};
+pub use job::{JobKey, ShardSpec, SweepJob};
+pub use merge::MergeError;
 pub use scheduler::{PoolStats, WorkStealingPool};
 pub use sharded::ShardedMap;
 pub use store::{DiskStore, StoreStats};

@@ -79,6 +79,29 @@ impl SegmentName {
     }
 }
 
+/// Lists every segment file under `dir` with its parsed name, sorted by
+/// (generation, pid, seq) — the store's deterministic replay order, which
+/// decides which duplicate of a key wins.  Non-segment entries are skipped.
+/// Shared by the store's open scan and its cross-process index refresh.
+///
+/// # Errors
+///
+/// Returns the I/O error if the directory cannot be read.
+pub fn list_segments(
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<(SegmentName, std::path::PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(seg) = name.to_str().and_then(SegmentName::parse) {
+            found.push((seg, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|(seg, _)| *seg);
+    Ok(found)
+}
+
 /// Encodes one record line (no trailing newline) from a canonical key and
 /// the already-serialised value JSON.
 #[must_use]
@@ -240,6 +263,42 @@ mod tests {
             seq: 0,
         };
         assert!(old < new);
+    }
+
+    #[test]
+    fn list_segments_orders_by_replay_order_and_skips_junk() {
+        let dir = std::env::temp_dir().join(format!("acmp-seg-list-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let names = [
+            SegmentName {
+                generation: 2,
+                pid: 1,
+                seq: 0,
+            },
+            SegmentName {
+                generation: 1,
+                pid: 99,
+                seq: 7,
+            },
+            SegmentName {
+                generation: 1,
+                pid: 99,
+                seq: 2,
+            },
+        ];
+        for n in &names {
+            std::fs::write(dir.join(n.file_name()), "").unwrap();
+        }
+        std::fs::write(dir.join("stray.tmp"), "").unwrap();
+        std::fs::write(dir.join("notes.txt"), "").unwrap();
+        let listed: Vec<SegmentName> = list_segments(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(seg, _)| seg)
+            .collect();
+        assert_eq!(listed, vec![names[2], names[1], names[0]]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! failure mode of the old one-file-per-entry layout), and a failed append
 //! truncates itself away instead of leaving junk behind.
 //!
+//! Concurrent *processes* (shard sweeps over one cache directory) cooperate
+//! without locks: every process appends to its own segment files (names
+//! embed the pid), and a load miss triggers a directory
+//! [refresh](DiskStore::refresh) that folds segments other processes have
+//! published since into this handle's index — so one shard's results and
+//! trace sets become visible to the others mid-run, without reopening.
+//!
 //! Every store handle appends into a fresh **generation**;
 //! [`compact`](DiskStore::compact) merges all live records into the next
 //! generation and deletes everything older, and
@@ -135,15 +142,7 @@ impl DiskStore {
         // Collect and order the segment files: generation first, then
         // (pid, seq), so replay order — and therefore which duplicate of a
         // key wins — is deterministic.
-        let mut found: Vec<(SegmentName, PathBuf)> = Vec::new();
-        for entry in std::fs::read_dir(&root)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            if let Some(seg) = name.to_str().and_then(SegmentName::parse) {
-                found.push((seg, entry.path()));
-            }
-        }
-        found.sort_unstable_by_key(|(seg, _)| *seg);
+        let mut found = segment::list_segments(&root)?;
 
         // Generation eviction: keep only the newest `limit` distinct
         // generations; delete the segment files of everything older.
@@ -173,29 +172,8 @@ impl DiskStore {
             generation: max_generation + 1,
             ..Inner::default()
         };
-        for (_, path) in found {
-            // Raw bytes, not UTF-8: a corrupt (even non-UTF-8) line must
-            // read as absent, never abort the open.  An unreadable segment
-            // — e.g. deleted by a concurrent open's eviction between our
-            // directory listing and this read — likewise reads as absent.
-            let Ok(bytes) = std::fs::read(&path) else {
-                continue;
-            };
-            let segment_id = inner.segments.len();
-            inner.segments.push(path);
-            for record in segment::scan_segment(&bytes) {
-                let digest = crate::stable_hash::fnv1a(record.canonical.as_bytes());
-                let entry = IndexEntry {
-                    canonical: record.canonical,
-                    segment: segment_id,
-                    offset: record.offset,
-                    len: record.len,
-                };
-                if let Some(old) = inner.index.insert(digest, entry) {
-                    inner.live_bytes -= old.len;
-                }
-                inner.live_bytes += record.len;
-            }
+        for (name, path) in found {
+            index_segment_file(&mut inner, name, path);
         }
 
         Ok(DiskStore {
@@ -251,13 +229,54 @@ impl DiskStore {
 
     /// Loads the value stored under `key`, verifying the embedded canonical
     /// key.  Any malformed, mismatched or unreadable entry counts as a miss.
+    ///
+    /// A miss first [refreshes](Self::refresh) the index and retries: in a
+    /// sharded run, another process may have appended the entry to its own
+    /// segment file since this handle last scanned the directory, and the
+    /// retry turns what would have been a redundant re-simulation (or trace
+    /// regeneration) into a hit.
     pub fn load<V: Deserialize>(&self, key: &JobKey) -> Option<V> {
-        let loaded = self.try_load(key);
+        let mut loaded = self.try_load(key);
+        if loaded.is_none() && self.refresh() > 0 {
+            loaded = self.try_load(key);
+        }
         match loaded {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         loaded
+    }
+
+    /// Merges segment files that appeared in the store directory since this
+    /// handle last looked — appends from concurrent shard processes (or
+    /// other handles in this one) — into the verified index, returning how
+    /// many new segment files were indexed.  Newly discovered records
+    /// override older index entries exactly as an open's replay would.
+    ///
+    /// Called automatically when a [`load`](Self::load) misses; the cost is
+    /// one directory listing per miss (plus a scan of whatever is new),
+    /// which is noise next to the simulation the miss would otherwise
+    /// trigger.  [`contains`](Self::contains) deliberately stays
+    /// index-only: schedulers probe it per cell while planning, and the
+    /// load path re-checks the directory anyway.
+    pub fn refresh(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let Ok(found) = segment::list_segments(&self.root) else {
+            return 0;
+        };
+        let known: std::collections::HashSet<&Path> =
+            inner.segments.iter().map(PathBuf::as_path).collect();
+        let fresh: Vec<(SegmentName, PathBuf)> = found
+            .into_iter()
+            .filter(|(_, path)| !known.contains(path.as_path()))
+            .collect();
+        let mut indexed = 0;
+        for (name, path) in fresh {
+            if index_segment_file(&mut inner, name, path) {
+                indexed += 1;
+            }
+        }
+        indexed
     }
 
     fn try_load<V: Deserialize>(&self, key: &JobKey) -> Option<V> {
@@ -397,6 +416,56 @@ impl DiskStore {
 pub(crate) fn next_segment_seq() -> u64 {
     static SEQ: AtomicU64 = AtomicU64::new(0);
     SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Scans one segment file into the index.  Raw bytes, not UTF-8: a corrupt
+/// (even non-UTF-8) line must read as absent, never abort the scan.  An
+/// unreadable segment — e.g. deleted by a concurrent open's eviction
+/// between a directory listing and this read — likewise reads as absent
+/// (and is not registered, so a later refresh may retry it).  Returns
+/// whether the file was registered.
+///
+/// Which duplicate of a key wins follows segment replay order, not
+/// discovery order: a refresh can discover a segment that *sorts before*
+/// one already indexed (a stale handle appending into an old generation
+/// while a newer generation is already visible), and its records must not
+/// override the later-replaying ones a fresh open would prefer.  An open's
+/// own scan passes segments pre-sorted, so the guard never fires there.
+fn index_segment_file(inner: &mut Inner, name: SegmentName, path: PathBuf) -> bool {
+    let Ok(bytes) = std::fs::read(&path) else {
+        return false;
+    };
+    let segment_id = inner.segments.len();
+    inner.segments.push(path);
+    for record in segment::scan_segment(&bytes) {
+        let digest = crate::stable_hash::fnv1a(record.canonical.as_bytes());
+        let later_already_indexed = inner.index.get(&digest).is_some_and(|existing| {
+            replay_name(&inner.segments[existing.segment])
+                .is_some_and(|existing_name| existing_name > name)
+        });
+        if later_already_indexed {
+            continue;
+        }
+        let entry = IndexEntry {
+            canonical: record.canonical,
+            segment: segment_id,
+            offset: record.offset,
+            len: record.len,
+        };
+        if let Some(old) = inner.index.insert(digest, entry) {
+            inner.live_bytes -= old.len;
+        }
+        inner.live_bytes += record.len;
+    }
+    true
+}
+
+/// The replay-order identity of an indexed segment file, parsed back from
+/// its path.  Every indexed segment was created with a
+/// [`SegmentName`]-shaped file name, so `None` only ever means an exotic
+/// path this store did not mint — treated as replaying first.
+fn replay_name(path: &Path) -> Option<SegmentName> {
+    path.file_name()?.to_str().and_then(SegmentName::parse)
 }
 
 /// Reads `len` bytes at `offset` of `path` as UTF-8.
@@ -635,6 +704,64 @@ mod tests {
         let merged = DiskStore::open(&root).unwrap();
         assert_eq!(merged.stats().entries, 3);
         assert_eq!(merged.load::<u64>(&key(Benchmark::Lu)), Some(2));
+    }
+
+    #[test]
+    fn load_misses_refresh_the_index_across_handles() {
+        // Two handles stand in for two shard processes on one store: the
+        // reader opened before the writer wrote anything, so its index is
+        // stale — the miss path must rescan the directory and find the
+        // writer's freshly published segment instead of reporting absent.
+        let root = temp_root("refresh-load");
+        let reader = DiskStore::open(&root).unwrap();
+        let writer = DiskStore::open(&root).unwrap();
+        writer.save(&key(Benchmark::Cg), &7u64).unwrap();
+        assert_eq!(reader.load::<u64>(&key(Benchmark::Cg)), Some(7));
+        let stats = reader.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "refresh makes it a hit");
+    }
+
+    #[test]
+    fn explicit_refresh_updates_contains() {
+        let root = temp_root("refresh-contains");
+        let reader = DiskStore::open(&root).unwrap();
+        let writer = DiskStore::open(&root).unwrap();
+        writer.save(&key(Benchmark::Lu), &1u64).unwrap();
+        // `contains` answers from the index only; a stale view reads
+        // absent until an explicit (or load-triggered) refresh.
+        assert!(!reader.contains(&key(Benchmark::Lu)));
+        assert_eq!(reader.refresh(), 1);
+        assert!(reader.contains(&key(Benchmark::Lu)));
+        // Nothing new: a second refresh is a no-op.
+        assert_eq!(reader.refresh(), 0);
+    }
+
+    #[test]
+    fn refresh_respects_replay_order_across_generations() {
+        let root = temp_root("refresh-order");
+        // `stale` will keep appending into generation 1 even after newer
+        // generations exist on disk.
+        let stale = DiskStore::open(&root).unwrap();
+        let reader = DiskStore::open(&root).unwrap();
+        {
+            let seeder = DiskStore::open(&root).unwrap();
+            seeder.save(&key(Benchmark::Ep), &0u64).unwrap();
+        }
+        // Opened after generation 1 has a segment: appends to generation 2.
+        let newer = DiskStore::open(&root).unwrap();
+        newer.save(&key(Benchmark::Cg), &2u64).unwrap();
+        assert_eq!(reader.load::<u64>(&key(Benchmark::Cg)), Some(2));
+
+        // The stale handle now writes the same key into generation 1.  A
+        // fresh open replays generation 1 *before* generation 2, so the
+        // generation-2 record must keep winning — including in the
+        // reader's refreshed view, even though it discovers the
+        // generation-1 segment last.
+        stale.save(&key(Benchmark::Cg), &1u64).unwrap();
+        assert_eq!(reader.refresh(), 1);
+        assert_eq!(reader.load::<u64>(&key(Benchmark::Cg)), Some(2));
+        let fresh = DiskStore::open(&root).unwrap();
+        assert_eq!(fresh.load::<u64>(&key(Benchmark::Cg)), Some(2));
     }
 
     #[test]

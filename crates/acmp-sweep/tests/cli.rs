@@ -1,5 +1,7 @@
 //! End-to-end tests of the `sweep` CLI binary: determinism across worker
-//! counts and warm starts from the on-disk store.
+//! counts, warm starts from the on-disk store, and multi-process sharding
+//! (`--shards N` must merge byte-identically to an unsharded run with no
+//! cell simulated twice).
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -159,6 +161,192 @@ fn compaction_preserves_warm_starts_and_shrinks_the_directory() {
     let stats = run_sweep(&["--cache-stats", "--cache-dir", cache]);
     assert!(stats.stdout.contains("entries 8"), "{}", stats.stdout);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sums a `<field> N` counter over every per-shard summary line.
+fn summed_counter(stderr: &str, field: &str) -> u64 {
+    let tag = format!("{field} ");
+    stderr
+        .lines()
+        .filter_map(|line| {
+            let at = line.find(&tag)?;
+            line[at + tag.len()..]
+                .split(',')
+                .next()?
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .sum()
+}
+
+#[test]
+fn sharded_runs_merge_byte_identical_to_unsharded() {
+    let dir = temp_dir("sharded");
+    let args = |cache: PathBuf| -> Vec<String> {
+        [
+            "--grid",
+            "fig09",
+            "--benchmarks",
+            "cg,lu",
+            "--quiet",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+    };
+    let single = run_sweep(&args(dir.join("c1")));
+    for n in ["2", "3"] {
+        let mut sharded_args = args(dir.join(format!("c{n}")));
+        sharded_args.extend(["--shards".to_string(), n.to_string()]);
+        let sharded = run_sweep(&sharded_args);
+        assert_eq!(
+            single.stdout, sharded.stdout,
+            "--shards {n} must merge byte-identically to the unsharded run"
+        );
+        assert!(
+            sharded
+                .stderr
+                .contains(&format!("merged {n} shard streams")),
+            "{}",
+            sharded.stderr
+        );
+        // Disjoint digest ownership: the 6 cells simulate exactly once in
+        // total across the shard processes.
+        assert_eq!(
+            summed_counter(&sharded.stderr, "simulated"),
+            6,
+            "no double work across {n} shards: {}",
+            sharded.stderr
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_processes_share_one_store_and_rerun_fully_warm() {
+    let dir = temp_dir("sharded-warm");
+    let cache = dir.join("cache");
+    let args: Vec<String> = [
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--quiet",
+        "--shards",
+        "3",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+
+    let cold = run_sweep(&args);
+    assert_eq!(
+        summed_counter(&cold.stderr, "simulated"),
+        3,
+        "{}",
+        cold.stderr
+    );
+
+    // All three shard processes append into the one cache dir; the re-run
+    // must be fully warm in every shard: zero simulations, zero trace
+    // generations, and byte-identical merged rows.
+    let warm = run_sweep(&args);
+    assert_eq!(
+        summed_counter(&warm.stderr, "simulated"),
+        0,
+        "{}",
+        warm.stderr
+    );
+    assert_eq!(
+        summed_counter(&warm.stderr, "trace-gens"),
+        0,
+        "{}",
+        warm.stderr
+    );
+    assert_eq!(cold.stdout, warm.stdout);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn single_shard_emits_its_subsequence_of_the_unsharded_rows() {
+    let base = [
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--quiet",
+        "--no-disk-cache",
+    ];
+    let full = run_sweep(&base);
+    let mut shard_args: Vec<&str> = base.to_vec();
+    shard_args.extend(["--shard", "2/3"]);
+    let shard = run_sweep(&shard_args);
+    assert!(shard.stderr.contains("shard 2/3 owns"), "{}", shard.stderr);
+    // Every shard row appears in the unsharded stream, in the same order.
+    let full_rows: Vec<&str> = full.stdout.lines().collect();
+    let shard_rows: Vec<&str> = shard.stdout.lines().collect();
+    assert!(!shard_rows.is_empty());
+    assert!(shard_rows.len() < full_rows.len());
+    let mut walk = full_rows.iter();
+    for row in &shard_rows {
+        assert!(
+            walk.any(|full_row| full_row == row),
+            "shard rows must be an ordered sub-sequence of the full stream"
+        );
+    }
+}
+
+#[test]
+fn broken_pipe_exits_nonzero_and_quietly() {
+    // `sweep … | head` used to be indistinguishable from a successful
+    // short run; now a write onto a closed pipe exits non-zero — but
+    // without spamming "write failed" into every early-exiting pipeline.
+    let (reader, writer) = std::io::pipe().unwrap();
+    drop(reader);
+    let output = Command::new(sweep_bin())
+        .args([
+            "--benchmarks",
+            "cg",
+            "--designs",
+            "baseline",
+            "--quiet",
+            "--no-disk-cache",
+        ])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::from(writer))
+        .stderr(std::process::Stdio::piped())
+        .output()
+        .unwrap();
+    assert!(!output.status.success(), "a broken pipe must not exit 0");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        !stderr.contains("write failed"),
+        "EPIPE must stay quiet: {stderr}"
+    );
+}
+
+#[test]
+fn conflicting_shard_options_are_rejected() {
+    let output = Command::new(sweep_bin())
+        .args(["--shards", "2", "--shard", "1/2", "--no-disk-cache"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+
+    let output = Command::new(sweep_bin())
+        .args(["--shard", "4/3", "--no-disk-cache"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("out of range"), "{stderr}");
 }
 
 #[test]

@@ -57,6 +57,17 @@ impl ExperimentContext {
         })
     }
 
+    /// Restricts the context to one shard of the job keyspace: grid sweeps
+    /// run (and return) only the cells whose stable key digest the shard
+    /// owns.  This is the multi-process idiom behind `sweep --shards N` —
+    /// contexts configured with the N distinct shards of one count
+    /// partition a grid exactly, with no cell simulated twice.
+    pub fn with_shard(self, shard: acmp_sweep::ShardSpec) -> Self {
+        ExperimentContext {
+            engine: self.engine.with_shard(shard),
+        }
+    }
+
     /// The underlying sweep engine.
     pub fn engine(&self) -> &SweepEngine {
         &self.engine
@@ -202,6 +213,37 @@ mod tests {
         // Every cell is now a memory hit.
         ctx.simulate(Benchmark::Lu, &DesignPoint::proposed());
         assert_eq!(ctx.stats().simulated, simulated);
+    }
+
+    #[test]
+    fn sharded_contexts_partition_a_sweep() {
+        let benchmarks = [Benchmark::Cg];
+        let designs = [
+            DesignPoint::baseline(),
+            DesignPoint::proposed(),
+            DesignPoint::all_shared(),
+        ];
+        let full = small_ctx();
+        let all_keys: Vec<String> = full
+            .sweep(&benchmarks, &designs)
+            .rows
+            .into_iter()
+            .map(|r| r.key)
+            .collect();
+
+        let mut union: Vec<String> = Vec::new();
+        let mut simulated = 0;
+        for index in 0..2 {
+            let ctx = small_ctx().with_shard(acmp_sweep::ShardSpec::new(index, 2).unwrap());
+            let outcome = ctx.sweep(&benchmarks, &designs);
+            simulated += ctx.stats().simulated;
+            union.extend(outcome.rows.into_iter().map(|r| r.key));
+        }
+        let mut want = all_keys;
+        want.sort_unstable();
+        union.sort_unstable();
+        assert_eq!(union, want, "two shards must cover the grid exactly");
+        assert_eq!(simulated, 3, "no cell may simulate twice across shards");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! before comparing).
 
 use hpc_workloads::{Benchmark, GeneratorConfig};
-use shared_icache::acmp_sweep::{GridSpec, SweepEngine};
+use shared_icache::acmp_sweep::{GridSpec, ShardSpec, SweepEngine};
 use shared_icache::DesignPoint;
 
 fn tiny_generator() -> GeneratorConfig {
@@ -147,6 +147,70 @@ fn compaction_preserves_rows_and_packs_the_directory() {
     assert_eq!(warm.stats().simulated, 0);
     assert_eq!(warm.stats().trace_generated, 0);
     assert_eq!(cold_rows, warm_rows);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_engines_over_one_store_cover_the_grid_without_double_work() {
+    // The multi-process contract behind `sweep --shards N`, exercised with
+    // engines as process stand-ins: the same grid split 1/1, 2/2 and 3/3
+    // over one disk store must union to byte-identical rows, with every
+    // cell simulated exactly once across all shards of a split — and a
+    // final fully-warm pass must simulate nothing and generate no traces.
+    let dir = std::env::temp_dir().join(format!(
+        "acmp-sweep-integration-shards-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (benchmarks, designs) = grid();
+
+    let mut reference: Option<Vec<String>> = None;
+    for count in [1u32, 2, 3] {
+        let shard_dir = dir.join(format!("split-{count}"));
+        let mut union: Vec<String> = Vec::new();
+        let mut simulated = 0;
+        for index in 0..count {
+            let engine = SweepEngine::new(tiny_generator())
+                .with_shard(ShardSpec::new(index, count).unwrap())
+                .with_disk_store(&shard_dir)
+                .unwrap();
+            union.extend(
+                engine
+                    .run_grid(&benchmarks, &designs)
+                    .rows
+                    .iter()
+                    .map(|r| r.to_jsonl()),
+            );
+            simulated += engine.stats().simulated;
+        }
+        union.sort_unstable();
+        assert_eq!(union.len(), 9, "{count} shards must cover every cell");
+        assert_eq!(simulated, 9, "no cell may simulate twice across shards");
+        match &reference {
+            None => reference = Some(union),
+            Some(want) => assert_eq!(
+                &union, want,
+                "a {count}-way split must merge byte-identically"
+            ),
+        }
+
+        // Fully warm: a fresh unsharded engine over the store the shards
+        // filled serves everything from disk.
+        let warm = SweepEngine::new(tiny_generator())
+            .with_disk_store(&shard_dir)
+            .unwrap();
+        let mut warm_rows: Vec<String> = warm
+            .run_grid(&benchmarks, &designs)
+            .rows
+            .iter()
+            .map(|r| r.to_jsonl())
+            .collect();
+        warm_rows.sort_unstable();
+        assert_eq!(warm.stats().simulated, 0);
+        assert_eq!(warm.stats().trace_generated, 0);
+        assert_eq!(&warm_rows, reference.as_ref().unwrap());
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }
