@@ -7,6 +7,11 @@
 //! sweep --grid fig07 --scale paper --cache-dir /tmp/sweep-cache
 //! sweep --grid fig09 --shards 3              # 3 shard processes, merged output
 //! sweep --grid fig09 --shard 2/3             # this process runs shard 2 only
+//! sweep --plan plan.json --grid fig09 --shards 2   # sign a multi-machine plan
+//! sweep --manifest plan.json --shard 1/2 --out shard-1.jsonl   # machine 1
+//! sweep merge --manifest plan.json --out rows.jsonl shard-1.jsonl shard-2.jsonl
+//! sweep --export-segments warm.bundle        # ship a warm store elsewhere
+//! sweep --import-segments warm.bundle        # …and absorb it there
 //! sweep --compact                            # merge the store into one generation
 //! sweep --cache-stats                        # inspect the store, run nothing
 //! ```
@@ -28,11 +33,26 @@
 //! shard in this process (what the coordinator spawns, and what a manual
 //! multi-terminal or multi-machine run uses directly).
 //!
-//! `--compact` and `--cache-stats` are maintenance modes: they operate on
-//! the store named by `--cache-dir` (or the default) and exit without
-//! running a grid.
+//! The **multi-machine** path needs no shared filesystem.  `--plan FILE`
+//! signs a manifest carrying the grid spec and every shard's expected key
+//! schedule; `--manifest FILE --shard i/N` re-derives the schedule with
+//! the local binary and refuses to simulate on any disagreement; the
+//! gathered per-shard JSONL files are recombined offline with `sweep
+//! merge`, which names every missing or short shard (so stragglers can be
+//! re-run individually) and writes nothing unless all streams check out.
+//! `--export-segments` / `--import-segments` ship one machine's warm store
+//! to the others as a verified bundle.
+//!
+//! `--compact`, `--cache-stats`, `--export-segments` and
+//! `--import-segments` are maintenance modes: they operate on the store
+//! named by `--cache-dir` (or the default) and exit without running a
+//! grid.
 
-use acmp_sweep::merge::{merge_shard_streams, shard_key_schedule, MergeError};
+use acmp_sweep::manifest::{scale_generator, SweepManifest};
+use acmp_sweep::merge::{
+    merge_shard_streams, merge_validated, shard_key_schedule, validate_shard_stream, MergeError,
+};
+use acmp_sweep::scheduler::split_worker_budget;
 use acmp_sweep::{DiskStore, GridSpec, JobKey, ShardSpec, SweepEngine, WorkStealingPool};
 use hpc_workloads::GeneratorConfig;
 use std::io::Write;
@@ -40,25 +60,47 @@ use std::path::PathBuf;
 
 const USAGE: &str = "\
 usage: sweep [options]
+       sweep merge --manifest plan.json [--out FILE] shard-1.jsonl … shard-N.jsonl
   --benchmarks SPEC   all | quick | comma list of names     (default: quick)
   --designs SPEC      design spec (see below)               (default: baseline,proposed)
   --grid PRESET       shorthand for --designs PRESET
   --workers N         pool threads                          (default: nproc, or $ACMP_SWEEP_WORKERS)
   --shards N          run the grid as N shard processes sharing the cache,
-                      then merge their rows (byte-identical to unsharded)
+                      then merge their rows (byte-identical to unsharded);
+                      with --plan, the shard count being planned
   --shard I/N         run only the cells whose stable key digest d has
                       d % N == I-1 (1-based I)
   --scale S           quick | paper trace scale             (default: quick)
+  --plan FILE         write a signed shard manifest (grid spec + per-shard
+                      key schedules + digest) to FILE, run nothing
+  --manifest FILE     run one shard of a planned sweep (needs --shard I/N);
+                      the grid and scale come from the manifest, which is
+                      digest-checked and re-validated against this binary
   --out FILE          write JSONL rows to FILE              (default: stdout)
   --cache-dir DIR     on-disk result store                  (default: target/sweep-cache)
   --no-disk-cache     disable the on-disk store
   --compact           compact the store into one generation, then exit
   --cache-stats       print store contents (entries/segments/bytes), then exit
+  --export-segments FILE  write every live store record to FILE as a
+                      verified bundle for another machine, then exit
+  --import-segments FILE  absorb a bundle exported elsewhere (keys already
+                      present locally are kept, not overridden), then exit
   --quiet             suppress per-job progress lines
   --help              this text
 
 design specs: baseline proposed all-shared all-shared-single worker-shared-32k
               naive:N  lb:N  shared:KiB:LB:single|double  fig07..fig13 presets";
+
+const MERGE_USAGE: &str = "\
+usage: sweep merge --manifest plan.json [--out FILE] shard-1.jsonl … shard-N.jsonl
+  Validates every gathered per-shard JSONL stream against the manifest's
+  key schedule (slot order = argument order), reports each missing, short
+  or corrupt shard by name, and — only when all streams check out — writes
+  the merged rows, byte-identical to an unsharded run, to --out (default
+  stdout).  Supply one file per shard, in shard order: a shard that owns
+  nothing still contributes the (empty) --out file its run produced —
+  skipping a middle slot would silently shift every later file into the
+  wrong one.";
 
 struct Options {
     benchmarks: String,
@@ -67,12 +109,29 @@ struct Options {
     shards: Option<u32>,
     shard: Option<ShardSpec>,
     scale: String,
+    plan: Option<String>,
+    manifest: Option<String>,
     out: Option<String>,
     cache_dir: Option<String>,
     disk_cache: bool,
     compact: bool,
     cache_stats: bool,
+    export_segments: Option<String>,
+    import_segments: Option<String>,
     quiet: bool,
+    /// Grid-defining flags the user passed explicitly — with `--manifest`
+    /// the grid comes from the manifest, so these conflict and are named
+    /// in the error.
+    grid_flags: Vec<&'static str>,
+}
+
+impl Options {
+    fn is_maintenance(&self) -> bool {
+        self.compact
+            || self.cache_stats
+            || self.export_segments.is_some()
+            || self.import_segments.is_some()
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -83,12 +142,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         shards: None,
         shard: None,
         scale: "quick".to_string(),
+        plan: None,
+        manifest: None,
         out: None,
         cache_dir: None,
         disk_cache: true,
         compact: false,
         cache_stats: false,
+        export_segments: None,
+        import_segments: None,
         quiet: false,
+        grid_flags: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -98,9 +162,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--benchmarks" => opts.benchmarks = value("--benchmarks")?,
-            "--designs" => opts.designs = value("--designs")?,
-            "--grid" => opts.designs = value("--grid")?,
+            "--benchmarks" => {
+                opts.benchmarks = value("--benchmarks")?;
+                opts.grid_flags.push("--benchmarks");
+            }
+            "--designs" => {
+                opts.designs = value("--designs")?;
+                opts.grid_flags.push("--designs");
+            }
+            "--grid" => {
+                opts.designs = value("--grid")?;
+                opts.grid_flags.push("--grid");
+            }
             "--workers" => {
                 let v = value("--workers")?;
                 opts.workers = Some(
@@ -126,16 +199,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--scale" => {
                 let v = value("--scale")?;
-                if v != "quick" && v != "paper" {
-                    return Err(format!("bad scale `{v}` (quick|paper)"));
-                }
+                scale_generator(&v)?;
                 opts.scale = v;
+                opts.grid_flags.push("--scale");
             }
+            "--plan" => opts.plan = Some(value("--plan")?),
+            "--manifest" => opts.manifest = Some(value("--manifest")?),
             "--out" => opts.out = Some(value("--out")?),
             "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
             "--no-disk-cache" => opts.disk_cache = false,
             "--compact" => opts.compact = true,
             "--cache-stats" => opts.cache_stats = true,
+            "--export-segments" => opts.export_segments = Some(value("--export-segments")?),
+            "--import-segments" => opts.import_segments = Some(value("--import-segments")?),
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
@@ -144,19 +220,32 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.shard.is_some() && opts.shards.is_some() {
         return Err("--shard and --shards are mutually exclusive".to_string());
     }
-    Ok(opts)
-}
-
-fn generator(scale: &str) -> GeneratorConfig {
-    match scale {
-        "paper" => GeneratorConfig::paper(),
-        _ => GeneratorConfig {
-            num_workers: 4,
-            parallel_instructions_per_thread: 20_000,
-            num_phases: 2,
-            seed: 0xC0FF_EE00,
-        },
+    if opts.plan.is_some() && (opts.manifest.is_some() || opts.shard.is_some()) {
+        return Err("--plan only writes a manifest; it conflicts with --manifest/--shard".into());
     }
+    if (opts.plan.is_some() || opts.manifest.is_some()) && opts.is_maintenance() {
+        return Err("store maintenance flags conflict with --plan/--manifest".to_string());
+    }
+    if opts.manifest.is_some() {
+        if let Some(flag) = opts.grid_flags.first() {
+            return Err(format!(
+                "{flag} conflicts with --manifest: the grid and scale come from the manifest"
+            ));
+        }
+        if opts.shards.is_some() {
+            return Err(
+                "--shards conflicts with --manifest; run one shard per machine with --shard i/N"
+                    .to_string(),
+            );
+        }
+        if opts.shard.is_none() {
+            return Err(
+                "--manifest needs --shard i/N (use `sweep merge` to combine gathered streams)"
+                    .to_string(),
+            );
+        }
+    }
+    Ok(opts)
 }
 
 /// The store directory the run will use (ignoring `--no-disk-cache`).
@@ -195,6 +284,10 @@ fn die_on_write_error(e: &std::io::Error) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        run_merge(&args[1..]);
+        return;
+    }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
         Err(msg) => {
@@ -207,8 +300,16 @@ fn main() {
         }
     };
 
-    if opts.compact || opts.cache_stats {
+    if opts.is_maintenance() {
         run_maintenance(&opts);
+        return;
+    }
+    if let Some(path) = opts.plan.clone() {
+        run_plan(&opts, &path);
+        return;
+    }
+    if let Some(path) = opts.manifest.clone() {
+        run_manifest_shard(&opts, &path);
         return;
     }
 
@@ -219,10 +320,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let generator = scale_generator(&opts.scale).expect("scale validated at parse");
 
     match opts.shards {
-        Some(shards) => run_coordinator(&opts, &grid, shards),
-        None => run_grid(&opts, &grid),
+        Some(shards) => run_coordinator(&opts, &grid, &generator, shards),
+        None => run_grid(&opts, &grid, &generator, &opts.scale),
     }
 }
 
@@ -256,6 +358,49 @@ fn run_maintenance(opts: &Options) {
             }
         }
     }
+    if let Some(path) = &opts.import_segments {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("sweep: cannot open bundle {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match store.import_segments(std::io::BufReader::new(file)) {
+            Ok(stats) => println!(
+                "imported {path} into {}: {} records ({} new, {} already present)",
+                root.display(),
+                stats.records,
+                stats.imported,
+                stats.skipped,
+            ),
+            Err(e) => {
+                eprintln!("sweep: import of {path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &opts.export_segments {
+        let mut file = match std::fs::File::create(path) {
+            Ok(f) => std::io::BufWriter::new(f),
+            Err(e) => {
+                eprintln!("sweep: cannot create bundle {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match store.export_segments(&mut file) {
+            Ok(records) => println!(
+                "exported {} live records from {} to {path}",
+                records,
+                root.display()
+            ),
+            Err(e) => {
+                eprintln!("sweep: export to {path} failed: {e}");
+                let _ = std::fs::remove_file(path);
+                std::process::exit(1);
+            }
+        }
+    }
     let stats = store.stats();
     println!(
         "cache {}: entries {}, segments {}, generation {}, live-bytes {}, evicted {}",
@@ -268,10 +413,76 @@ fn run_maintenance(opts: &Options) {
     );
 }
 
-/// Runs the grid (or one shard of it) in this process.
-fn run_grid(opts: &Options, grid: &GridSpec) {
+/// `--plan FILE`: sign and write a shard manifest, run nothing.
+fn run_plan(opts: &Options, path: &str) {
+    let shards = opts.shards.unwrap_or(1);
+    let manifest = match SweepManifest::plan(&opts.benchmarks, &opts.designs, &opts.scale, shards) {
+        Ok(manifest) => manifest,
+        Err(msg) => {
+            eprintln!("sweep: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut json = manifest.to_json();
+    json.push('\n');
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("sweep: cannot write manifest {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "sweep: planned {} cells across {} shards at {} scale into {path} (digest {})",
+        manifest.cells, manifest.shards, manifest.scale, manifest.digest,
+    );
+    for shard in ShardSpec::all(manifest.shards) {
+        eprintln!(
+            "sweep:   shard {shard} owns {} rows — run: sweep --manifest {path} --shard {shard} --out shard-{}.jsonl",
+            manifest.shard_schedule(shard).len(),
+            shard.index() + 1,
+        );
+    }
+}
+
+/// `--manifest FILE --shard i/N`: validate, then run one shard of the plan.
+fn run_manifest_shard(opts: &Options, path: &str) {
+    let shard = opts.shard.expect("checked at parse");
+    let manifest = match SweepManifest::load(path) {
+        Ok(manifest) => manifest,
+        Err(msg) => {
+            eprintln!("sweep: {msg}");
+            std::process::exit(1);
+        }
+    };
+    if shard.count() != manifest.shards {
+        eprintln!(
+            "sweep: --shard {shard} does not fit a manifest planned for {} shards",
+            manifest.shards
+        );
+        std::process::exit(2);
+    }
+    let (grid, generator) = match manifest.validate_grid() {
+        Ok(validated) => validated,
+        Err(msg) => {
+            eprintln!("sweep: manifest {path}: {msg}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "sweep: manifest {path} validated — shard {shard} owns {} of {} cells ({} scale)",
+        manifest.shard_schedule(shard).len(),
+        manifest.cells,
+        manifest.scale,
+    );
+    // The scale comes from the manifest, not from opts (where --scale is
+    // rejected on this path), so the run summary must be told explicitly.
+    run_grid(opts, &grid, &generator, &manifest.scale);
+}
+
+/// Runs the grid (or one shard of it) in this process.  `scale` is the
+/// display name of `generator`'s scale — `opts.scale` on the plain paths,
+/// the manifest's scale on `--manifest` runs.
+fn run_grid(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig, scale: &str) {
     let shard = opts.shard.unwrap_or_else(ShardSpec::whole);
-    let mut engine = SweepEngine::new(generator(&opts.scale)).with_shard(shard);
+    let mut engine = SweepEngine::new(*generator).with_shard(shard);
     if let Some(n) = opts.workers {
         engine = engine.with_threads(n);
     }
@@ -312,7 +523,7 @@ fn run_grid(opts: &Options, grid: &GridSpec) {
             format!(", shard {shard} owns {total}")
         },
         engine.threads(),
-        opts.scale,
+        scale,
         engine
             .store()
             .map(|s| format!(", cache {}", s.root().display()))
@@ -367,17 +578,17 @@ fn run_grid(opts: &Options, grid: &GridSpec) {
 
 /// Spawns `shards` child shard processes over one store and merges their
 /// row streams into output byte-identical to an unsharded run.
-fn run_coordinator(opts: &Options, grid: &GridSpec, shards: u32) {
-    let generator = generator(&opts.scale);
-    let keys: Vec<JobKey> = grid.jobs().iter().map(|job| job.key(&generator)).collect();
+fn run_coordinator(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig, shards: u32) {
+    let keys: Vec<JobKey> = grid.jobs().iter().map(|job| job.key(generator)).collect();
     let schedule = shard_key_schedule(&keys, shards);
 
     // Shards split the host between them instead of each sizing its pool
-    // to the whole machine.
+    // to the whole machine; the split never hands a child zero workers,
+    // even with more shards than cores.
     let budget = opts
         .workers
         .unwrap_or_else(|| WorkStealingPool::host_sized().workers());
-    let per_shard = (budget / shards as usize).max(1);
+    let per_shard = split_worker_budget(budget, shards);
 
     let store_root = opts.disk_cache.then(|| cache_root(opts));
     let exe = match std::env::current_exe() {
@@ -531,5 +742,128 @@ fn run_coordinator(opts: &Options, grid: &GridSpec, shards: u32) {
     eprintln!(
         "sweep: merged {shards} shard streams — {rows} rows in {:.2}s",
         start.elapsed().as_secs_f64()
+    );
+}
+
+/// `sweep merge`: recombine gathered per-shard JSONL files offline.
+fn run_merge(args: &[String]) {
+    let mut manifest_path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("sweep merge: {name} needs a value\n\n{MERGE_USAGE}");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--manifest" => manifest_path = Some(value("--manifest")),
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => {
+                eprintln!("{MERGE_USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("sweep merge: unknown option `{flag}`\n\n{MERGE_USAGE}");
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let Some(manifest_path) = manifest_path else {
+        eprintln!("sweep merge: a --manifest is required\n\n{MERGE_USAGE}");
+        std::process::exit(2);
+    };
+    let manifest = match SweepManifest::load(&manifest_path) {
+        Ok(manifest) => manifest,
+        Err(msg) => {
+            eprintln!("sweep merge: {msg}");
+            std::process::exit(1);
+        }
+    };
+    if files.len() > manifest.schedule.len() {
+        eprintln!(
+            "sweep merge: {} shard files supplied for a {}-shard plan",
+            files.len(),
+            manifest.shards
+        );
+        std::process::exit(2);
+    }
+
+    // Validate every stream before writing anything, so one pass reports
+    // *all* the missing / short / corrupt shards — the operator re-runs the
+    // stragglers named here, not one per attempt.
+    let mut buffered: Vec<Vec<String>> = Vec::with_capacity(manifest.schedule.len());
+    let mut unusable = 0u32;
+    for (i, schedule) in manifest.schedule.iter().enumerate() {
+        let slot = ShardSpec::all(manifest.shards)
+            .nth(i)
+            .expect("schedule length was verified");
+        // Slot i is argument i, unconditionally — even a shard that owns
+        // nothing needs its (empty) file supplied, because accepting an
+        // omitted middle slot would silently shift every later file into
+        // the wrong slot and misattribute the resulting failures.
+        let outcome: Result<Vec<String>, String> = match files.get(i) {
+            None => Err(format!(
+                "missing — no stream supplied for its {} scheduled rows; run: sweep --manifest \
+                 {manifest_path} --shard {slot} --out shard-{}.jsonl",
+                schedule.len(),
+                i + 1,
+            )),
+            Some(path) => match std::fs::File::open(path) {
+                Err(e) => Err(format!("missing — cannot open {path}: {e}")),
+                Ok(file) => {
+                    match validate_shard_stream(i + 1, std::io::BufReader::new(file), schedule) {
+                        Ok(rows) => Ok(rows),
+                        Err(MergeError::Io(e)) => Err(format!("unreadable — {path}: {e}")),
+                        Err(MergeError::Corrupt { message, .. }) => {
+                            let kind = if message.contains("truncated") {
+                                "short"
+                            } else {
+                                "corrupt"
+                            };
+                            Err(format!("{kind} — {message} ({path}); re-run this shard"))
+                        }
+                    }
+                }
+            },
+        };
+        match outcome {
+            Ok(rows) => {
+                eprintln!(
+                    "sweep merge: shard {slot}: ok — {} of {} scheduled rows",
+                    rows.len(),
+                    schedule.len()
+                );
+                buffered.push(rows);
+            }
+            Err(msg) => {
+                eprintln!("sweep merge: shard {slot}: {msg}");
+                unusable += 1;
+                buffered.push(Vec::new());
+            }
+        }
+    }
+    if unusable > 0 {
+        eprintln!(
+            "sweep merge: {unusable} of {} shard streams unusable; wrote nothing",
+            manifest.shards
+        );
+        std::process::exit(1);
+    }
+
+    // Every stream checked out; only now may the sink be opened.
+    let mut merged: Vec<u8> = Vec::new();
+    let rows = merge_validated(&buffered, &mut merged).expect("writing to memory cannot fail");
+    let mut sink = open_sink(out.as_ref());
+    if let Err(e) = sink.write_all(&merged).and_then(|()| sink.flush()) {
+        die_on_write_error(&e);
+    }
+    eprintln!(
+        "sweep merge: merged {} shard streams — {rows} rows, byte-identical to an unsharded run",
+        manifest.shards
     );
 }

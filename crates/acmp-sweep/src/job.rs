@@ -177,6 +177,13 @@ impl ShardSpec {
     pub fn owns(&self, digest: u64) -> bool {
         digest % u64::from(self.count) == u64::from(self.index)
     }
+
+    /// All `count` shards of a `count`-way split, in index order — the
+    /// canonical enumeration used by schedules, manifests and coordinators.
+    /// A zero `count` yields nothing.
+    pub fn all(count: u32) -> impl Iterator<Item = ShardSpec> {
+        (0..count).map(move |index| ShardSpec { index, count })
+    }
 }
 
 impl std::fmt::Display for ShardSpec {
@@ -281,6 +288,18 @@ mod tests {
         for bad in ["0/3", "4/3", "1-3", "x/3", "1/x", "1/0", "", "2/"] {
             assert!(ShardSpec::parse(bad).is_err(), "`{bad}` must not parse");
         }
+    }
+
+    #[test]
+    fn all_enumerates_every_shard_in_index_order() {
+        let shards: Vec<ShardSpec> = ShardSpec::all(3).collect();
+        assert_eq!(shards.len(), 3);
+        for (i, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.index(), u32::try_from(i).unwrap());
+            assert_eq!(shard.count(), 3);
+        }
+        assert_eq!(ShardSpec::all(0).count(), 0);
+        assert_eq!(ShardSpec::all(1).next(), Some(ShardSpec::whole()));
     }
 
     #[test]

@@ -27,7 +27,15 @@
 //!   the stable digest of their [`JobKey`] (`--shard i/N`), shard processes
 //!   share one disk store (per-process segment files, index refresh on
 //!   miss), and the coordinator (`--shards N`) k-way merges the per-shard
-//!   JSONL streams back into the exact bytes an unsharded run emits.
+//!   JSONL streams back into the exact bytes an unsharded run emits;
+//! * [`SweepManifest`] ([`manifest`]) — multi-*machine* sharding with no
+//!   shared filesystem: `sweep --plan` signs a manifest carrying the grid
+//!   spec and every shard's expected key schedule, each machine validates
+//!   its grid against it before simulating, `sweep merge` recombines the
+//!   gathered per-shard JSONL files offline (naming missing or short
+//!   shards), and [`DiskStore::export_segments`] /
+//!   [`DiskStore::import_segments`] ship one machine's warm store to the
+//!   others as a verified bundle.
 //!
 //! [`DesignPoint`] (the machine configurations the paper evaluates) lives
 //! here too, so the engine, the CLI and the spec grammar can name design
@@ -38,6 +46,7 @@ pub mod design_point;
 pub mod engine;
 pub mod grid;
 pub mod job;
+pub mod manifest;
 pub mod merge;
 pub mod scheduler;
 pub mod segment;
@@ -50,10 +59,11 @@ pub use design_point::DesignPoint;
 pub use engine::{EngineStats, SweepEngine, SweepOutcome, SweepRow};
 pub use grid::GridSpec;
 pub use job::{JobKey, ShardSpec, SweepJob};
+pub use manifest::{scale_generator, SweepManifest};
 pub use merge::MergeError;
 pub use scheduler::{PoolStats, WorkStealingPool};
 pub use sharded::ShardedMap;
-pub use store::{DiskStore, StoreStats};
+pub use store::{DiskStore, ImportStats, StoreStats};
 
 #[cfg(test)]
 mod crate_tests {

@@ -80,9 +80,8 @@ pub fn row_key(line: &str) -> Option<&str> {
 /// follow.
 #[must_use]
 pub fn shard_key_schedule(keys: &[JobKey], count: u32) -> Vec<Vec<String>> {
-    (0..count)
-        .map(|index| {
-            let shard = ShardSpec::new(index, count).expect("index < count");
+    ShardSpec::all(count)
+        .map(|shard| {
             let mut own: Vec<String> = keys
                 .iter()
                 .filter(|key| shard.owns(key.digest()))
@@ -117,9 +116,21 @@ pub fn merge_shard_streams<R: BufRead, W: Write>(
     assert_eq!(streams.len(), expected.len(), "one schedule per stream");
     let mut buffered: Vec<Vec<String>> = Vec::with_capacity(streams.len());
     for (i, stream) in streams.into_iter().enumerate() {
-        buffered.push(read_shard_stream(i + 1, stream, &expected[i])?);
+        buffered.push(validate_shard_stream(i + 1, stream, &expected[i])?);
     }
+    merge_validated(&buffered, sink).map_err(MergeError::Io)
+}
 
+/// K-way merges already-validated per-shard row buffers (as returned by
+/// [`validate_shard_stream`]) into `sink`, returning the rows written.
+/// Validation and merging are split so callers like `sweep merge` can
+/// first check *every* stream — reporting all missing or short shards at
+/// once — and only then produce output.
+///
+/// # Errors
+///
+/// Returns the I/O error if writing `sink` fails.
+pub fn merge_validated<W: Write>(buffered: &[Vec<String>], sink: &mut W) -> std::io::Result<u64> {
     // Shards own disjoint digests, so cross-stream key ties can only come
     // from the same shard (a grid listing one cell twice) and the merge
     // order is fully determined by byte comparison.
@@ -145,20 +156,86 @@ pub fn merge_shard_streams<R: BufRead, W: Write>(
 }
 
 /// Reads one shard stream fully, validating it line-by-line against its
-/// schedule.  `shard` is 1-based, for messages.
-fn read_shard_stream<R: BufRead>(
+/// schedule, and returns its rows.  `shard` is 1-based, for messages.
+/// This is the validation half of [`merge_shard_streams`], public so the
+/// `sweep merge` subcommand can check each shard file independently and
+/// report every problem (missing rows, foreign rows, CRLF damage) before
+/// deciding whether any output may be written.
+///
+/// What is (and is not) caught: every structural way a stream can be
+/// damaged — truncation (including a lost final newline: rows must be
+/// newline-terminated, never silently re-terminated), CRLF translation,
+/// non-UTF-8 bytes, rows that are not well-formed JSON objects carrying
+/// their own key, and any disagreement with the schedule (foreign,
+/// duplicated, reordered or missing rows).  Rows carry no checksum, so a
+/// bit flip *inside* a value that still leaves valid JSON (e.g. one digit
+/// of a cycle count) is indistinguishable from a legitimate row; transfers
+/// that need byte-level integrity ship the store bundle
+/// (`--export-segments`), whose records are individually checksummed and
+/// digest-sealed.
+///
+/// # Errors
+///
+/// [`MergeError::Corrupt`] when a stream disagrees with its schedule,
+/// [`MergeError::Io`] when reading it fails.
+pub fn validate_shard_stream<R: BufRead>(
     shard: usize,
     stream: R,
     schedule: &[String],
 ) -> Result<Vec<String>, MergeError> {
     let corrupt = |message: String| MergeError::Corrupt { shard, message };
     let mut lines: Vec<String> = Vec::with_capacity(schedule.len());
-    for line in stream.lines() {
-        let line = line?;
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        // Raw `read_until`, not `BufRead::lines`: `lines` silently strips a
+        // `\r\n`, which would let a CRLF-translated stream merge into
+        // LF-normalised output — "repairing" bytes the merge promises to
+        // reproduce exactly.  A rewritten stream must fail, not be fixed.
+        buf.clear();
+        if stream.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
         let row = lines.len() + 1;
+        let mut bytes = buf.as_slice();
+        match bytes.last() {
+            Some(&b'\n') => bytes = &bytes[..bytes.len() - 1],
+            // The writer newline-terminates every row, so an unterminated
+            // tail is a truncation — even when the remaining bytes happen
+            // to still look like a row (a cut inside the final row can
+            // leave a shorter-but-valid JSON prefix).  Re-terminating it
+            // would repair bytes the merge promises to reproduce exactly.
+            _ => {
+                return Err(corrupt(format!(
+                    "row {row} is truncated (stream ends without a newline)"
+                )))
+            }
+        }
+        if bytes.last() == Some(&b'\r') {
+            return Err(corrupt(format!(
+                "row {row} carries a CRLF line ending (stream was rewritten in transit)"
+            )));
+        }
+        let Ok(line) = std::str::from_utf8(bytes).map(str::to_string) else {
+            return Err(corrupt(format!("row {row} is not valid UTF-8")));
+        };
         let Some(key) = row_key(&line) else {
             return Err(corrupt(format!("row {row} is not a well-formed row")));
         };
+        // The whole line must parse as a JSON object whose embedded key
+        // matches the prefix `row_key` saw: catches damage deeper in the
+        // row than the cheap prefix/suffix shape check can see.
+        let parsed_key = serde_json::from_str::<serde::Value>(&line)
+            .ok()
+            .and_then(|envelope| {
+                envelope
+                    .as_object()
+                    .and_then(|fields| serde::get_field(fields, "key").ok().cloned())
+            })
+            .and_then(|v| v.as_str().map(str::to_string));
+        if parsed_key.as_deref() != Some(key) {
+            return Err(corrupt(format!("row {row} is not a well-formed row")));
+        }
         let Some(want) = schedule.get(lines.len()) else {
             return Err(corrupt(format!(
                 "stream carries more rows than its {} scheduled",
@@ -303,6 +380,60 @@ mod tests {
             0,
             |s| s[0] = s[0].replace("00000000000000", "zzzzzzzzzzzzzz"),
             "not a well-formed",
+        );
+        // A CRLF-translated stream (Windows tooling in the transfer path).
+        assert_merge_rejects(
+            1,
+            |s| {
+                for line in s.iter_mut() {
+                    line.push('\r');
+                }
+            },
+            "CRLF",
+        );
+        // A row duplicated *across* shards: the receiving shard's schedule
+        // never expects the foreign key.
+        assert_merge_rejects(2, |s| s.insert(0, row(0, 0)), "schedule expects");
+        // Damage deeper in the row than the key prefix / closing brace:
+        // the full-line JSON parse must reject it.
+        assert_merge_rejects(
+            0,
+            |s| s[0] = s[0].replace("\"cycles\":", "\"cycles\"!"),
+            "not a well-formed",
+        );
+    }
+
+    #[test]
+    fn streams_losing_their_final_newline_are_truncated_not_repaired() {
+        // Cutting the tail of the last row can leave a shorter-but-valid
+        // JSON prefix; the lost final newline is what gives the truncation
+        // away, and the validator must fail rather than re-terminate it.
+        let keys: Vec<u64> = (0..6).collect();
+        let (streams, schedule) = split(&keys, 2);
+        let mut readers = readers(&streams);
+        let mut text = readers.remove(0).into_inner();
+        text.pop(); // drop the final newline only: bytes still look row-shaped
+        let err = validate_shard_stream(1, std::io::Cursor::new(text), &schedule[0]).unwrap_err();
+        assert!(
+            err.to_string().contains("without a newline"),
+            "a lost final newline must read as truncation: {err}"
+        );
+    }
+
+    #[test]
+    fn validate_shard_stream_returns_the_rows_it_checked() {
+        let keys: Vec<u64> = (0..6).collect();
+        let (streams, schedule) = split(&keys, 2);
+        for (i, reader) in readers(&streams).into_iter().enumerate() {
+            let rows = validate_shard_stream(i + 1, reader, &schedule[i]).unwrap();
+            assert_eq!(rows, streams[i]);
+        }
+        // An empty stream against an empty schedule is valid (a shard of a
+        // grid smaller than the shard count legitimately owns nothing).
+        let empty = std::io::Cursor::new(String::new());
+        assert_eq!(
+            validate_shard_stream(1, empty, &[]).unwrap(),
+            Vec::<String>::new()
         );
     }
 

@@ -48,6 +48,16 @@ fn host_worker_count(env_override: Option<&str>) -> usize {
         .unwrap_or(4)
 }
 
+/// Splits a host's worker budget across `shards` cooperating processes:
+/// each shard gets an equal share, never rounded down to zero.  Used by the
+/// `--shards N` coordinator; the floor matters in the degenerate cases —
+/// more shards than cores, or more shards than grid cells — where a
+/// truncating division would otherwise ask a child for a zero-thread pool.
+#[must_use]
+pub fn split_worker_budget(budget: usize, shards: u32) -> usize {
+    (budget / (shards.max(1) as usize)).max(1)
+}
+
 /// A bounded work-stealing executor.
 ///
 /// The pool is created per run; workers are scoped threads, so borrowed job
@@ -254,6 +264,21 @@ mod tests {
     fn zero_requested_workers_clamps_to_one() {
         let pool = WorkStealingPool::new(0);
         assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn worker_budget_split_never_rounds_to_zero() {
+        assert_eq!(split_worker_budget(8, 2), 4);
+        assert_eq!(split_worker_budget(8, 3), 2);
+        // Degenerate splits — more shards than cores — still give every
+        // shard a working pool.
+        assert_eq!(split_worker_budget(2, 16), 1);
+        assert_eq!(split_worker_budget(0, 4), 1);
+        assert_eq!(
+            split_worker_budget(4, 0),
+            4,
+            "a zero shard count is clamped"
+        );
     }
 
     #[test]

@@ -37,6 +37,43 @@ pub const TMP_EXT: &str = "tmp";
 /// compaction can stream them.
 pub const SEGMENT_TARGET_BYTES: u64 = 8 * 1024 * 1024;
 
+/// Magic token opening an export bundle (`sweep --export-segments`).
+pub const EXPORT_MAGIC: &str = "acmp-sweep-segments";
+
+/// Export bundle format version this binary reads and writes.
+pub const EXPORT_FORMAT_VERSION: u32 = 1;
+
+/// Encodes the header line of an export bundle (no trailing newline):
+/// magic, format version, record count, and an FNV-1a digest over all the
+/// record bytes that follow (each record line including its newline).  The
+/// digest catches whole-record truncation, which per-record checksums
+/// cannot see.
+#[must_use]
+pub fn encode_export_header(records: u64, digest: u64) -> String {
+    format!(
+        "{EXPORT_MAGIC} {EXPORT_FORMAT_VERSION} {records} {}",
+        crate::stable_hash::hex(digest)
+    )
+}
+
+/// Parses an export bundle header line into (format version, record count,
+/// body digest); `None` for anything that is not one.
+#[must_use]
+pub fn parse_export_header(line: &str) -> Option<(u32, u64, u64)> {
+    let mut parts = line.split(' ');
+    if parts.next() != Some(EXPORT_MAGIC) {
+        return None;
+    }
+    let format = parts.next()?.parse().ok()?;
+    let records = parts.next()?.parse().ok()?;
+    let digest_hex = parts.next()?;
+    if digest_hex.len() != 16 || parts.next().is_some() {
+        return None;
+    }
+    let digest = u64::from_str_radix(digest_hex, 16).ok()?;
+    Some((format, records, digest))
+}
+
 /// Parsed identity of a segment file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SegmentName {
@@ -299,6 +336,26 @@ mod tests {
             .collect();
         assert_eq!(listed, vec![names[2], names[1], names[0]]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_headers_round_trip() {
+        let line = encode_export_header(42, 0xdead_beef_0000_1111);
+        assert_eq!(
+            parse_export_header(&line),
+            Some((EXPORT_FORMAT_VERSION, 42, 0xdead_beef_0000_1111))
+        );
+        for bad in [
+            "",
+            "acmp-sweep-segments",
+            "acmp-sweep-segments 1 42",
+            "acmp-sweep-segments 1 42 beef",
+            "acmp-sweep-segments x 42 0123456789abcdef",
+            "other-magic 1 42 0123456789abcdef",
+            "acmp-sweep-segments 1 42 0123456789abcdef extra",
+        ] {
+            assert_eq!(parse_export_header(bad), None, "`{bad}`");
+        }
     }
 
     #[test]

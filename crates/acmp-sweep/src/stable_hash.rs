@@ -16,7 +16,20 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// 64-bit FNV-1a over a byte string.
 #[must_use]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut state = FNV_OFFSET;
+    fnv1a_fold(fnv1a_init(), bytes)
+}
+
+/// The initial FNV-1a state, for incremental hashing with [`fnv1a_fold`].
+#[must_use]
+pub fn fnv1a_init() -> u64 {
+    FNV_OFFSET
+}
+
+/// Folds more bytes into an FNV-1a state.  `fnv1a_fold(fnv1a_init(), all)`
+/// equals folding `all` in any chunking — which is what lets large
+/// streams (store export bundles) be digested without materialising them.
+#[must_use]
+pub fn fnv1a_fold(mut state: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         state ^= u64::from(b);
         state = state.wrapping_mul(FNV_PRIME);
@@ -52,6 +65,15 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_folding_matches_one_shot_hashing() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in [0, 1, 10, data.len()] {
+            let state = fnv1a_fold(fnv1a_init(), &data[..split]);
+            assert_eq!(fnv1a_fold(state, &data[split..]), fnv1a(data), "{split}");
+        }
     }
 
     #[test]

@@ -69,6 +69,17 @@ pub struct StoreStats {
     pub evicted: u64,
 }
 
+/// What one [`import_segments`](DiskStore::import_segments) call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ImportStats {
+    /// Records the bundle carried.
+    pub records: u64,
+    /// Records appended to this store.
+    pub imported: u64,
+    /// Records skipped because their key was already live here.
+    pub skipped: u64,
+}
+
 /// Where one live record lives on disk.
 #[derive(Debug, Clone)]
 pub(crate) struct IndexEntry {
@@ -315,10 +326,22 @@ impl DiskStore {
         let value_json = serde_json::to_string(value)?;
         let mut line = segment::encode_record(key.canonical(), &value_json);
         line.push('\n');
-
         let mut inner = self.inner.lock();
-        self.ensure_active(&mut inner, line.len() as u64)
-            .map_err(serde::Error::from)?;
+        self.append_record_line(&mut inner, key.canonical(), &line)
+            .map_err(serde::Error::from)
+    }
+
+    /// Appends one already-encoded record line (newline included) to the
+    /// active segment and indexes it.  Shared by [`save`](Self::save) and
+    /// [`import_segments`](Self::import_segments), which receives its lines
+    /// pre-encoded from another store's export.
+    fn append_record_line(
+        &self,
+        inner: &mut Inner,
+        canonical: &str,
+        line: &str,
+    ) -> std::io::Result<()> {
+        self.ensure_active(inner, line.len() as u64)?;
         let (write_result, segment, offset) = {
             let active = inner.active.as_mut().expect("ensure_active installs one");
             let offset = active.len;
@@ -342,21 +365,181 @@ impl DiskStore {
             if !truncated {
                 inner.active = None;
             }
-            return Err(serde::Error::from(e));
+            return Err(e);
         }
         let record_len = line.len() as u64 - 1;
         let entry = IndexEntry {
-            canonical: key.canonical().to_string(),
+            canonical: canonical.to_string(),
             segment,
             offset,
             len: record_len,
         };
-        if let Some(old) = inner.index.insert(key.digest(), entry) {
+        let digest = crate::stable_hash::fnv1a(canonical.as_bytes());
+        if let Some(old) = inner.index.insert(digest, entry) {
             inner.live_bytes -= old.len;
         }
         inner.live_bytes += record_len;
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Writes every live record into `sink` as a portable **export
+    /// bundle**: one header line (magic, format version, record count,
+    /// FNV-1a digest over the body bytes) followed by the record lines in
+    /// stable digest order.  Records are copied verbatim — each keeps its
+    /// own value checksum — so equal stores export byte-identical bundles,
+    /// and [`import_segments`](Self::import_segments) on another machine
+    /// can verify the transfer end to end.  Returns the record count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a segment cannot be read back or `sink`
+    /// cannot be written.
+    pub fn export_segments<W: Write>(&self, sink: &mut W) -> std::io::Result<u64> {
+        // Snapshot the live spans under the lock, but read them back
+        // outside it: segments are append-only, so a snapshotted span's
+        // bytes never change, and a large export must not block every
+        // concurrent save for the duration of its file I/O.  (Compaction
+        // deletes segment files and must not run concurrently — the same
+        // offline-maintenance discipline it already demands.)
+        let mut spans: Vec<(u64, PathBuf, u64, u64)> = {
+            let inner = self.inner.lock();
+            inner
+                .index
+                .iter()
+                .map(|(digest, entry)| {
+                    (
+                        *digest,
+                        inner.segments[entry.segment].clone(),
+                        entry.offset,
+                        entry.len,
+                    )
+                })
+                .collect()
+        };
+        spans.sort_unstable_by_key(|&(digest, ..)| digest);
+        let records = spans.len() as u64;
+        // The header carries a digest of the whole body, so the body is
+        // walked twice — once to fold the digest, once to write — rather
+        // than materialised in memory: bundles hold every live record
+        // *including multi-megabyte trace sets*, and exporting must not
+        // cost a store's worth of RAM.  Append-only segments make the two
+        // passes read identical bytes.
+        let mut digest = crate::stable_hash::fnv1a_init();
+        for (_, path, offset, len) in &spans {
+            let record = read_span(path, *offset, *len)?;
+            digest = crate::stable_hash::fnv1a_fold(digest, record.as_bytes());
+            digest = crate::stable_hash::fnv1a_fold(digest, b"\n");
+        }
+        writeln!(sink, "{}", segment::encode_export_header(records, digest))?;
+        for (_, path, offset, len) in &spans {
+            let record = read_span(path, *offset, *len)?;
+            sink.write_all(record.as_bytes())?;
+            sink.write_all(b"\n")?;
+        }
+        sink.flush()?;
+        Ok(records)
+    }
+
+    /// Imports an export bundle produced by
+    /// [`export_segments`](Self::export_segments) on another store —
+    /// typically another machine's warm cache.  The whole bundle is
+    /// verified *before* anything is appended: the header must parse, the
+    /// body digest must match (catching truncated transfers), every record
+    /// must pass its own checksum, and the record count must agree.  Only
+    /// then are records appended — into this handle's fresh generation,
+    /// following the same replay-order rules a concurrent shard's segments
+    /// obey on [`refresh`](Self::refresh).  Records whose key is already
+    /// live here are skipped, so importing is idempotent and never
+    /// overrides data this store already trusts.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a damaged bundle (with nothing imported),
+    /// or the I/O error if reading `source` or appending fails.
+    pub fn import_segments<R: std::io::BufRead>(
+        &self,
+        mut source: R,
+    ) -> std::io::Result<ImportStats> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut header = String::new();
+        source.read_line(&mut header)?;
+        let Some((format, records, digest)) =
+            segment::parse_export_header(header.trim_end_matches('\n'))
+        else {
+            return Err(invalid(
+                "not an acmp-sweep segment export (unrecognised header)".to_string(),
+            ));
+        };
+        if format != segment::EXPORT_FORMAT_VERSION {
+            return Err(invalid(format!(
+                "export format {format} not supported (this binary reads {})",
+                segment::EXPORT_FORMAT_VERSION
+            )));
+        }
+        // One pass over the body: fold the digest over the raw bytes as
+        // they stream in and verify each record's own checksum, keeping
+        // only the (single) buffered copy needed for the
+        // verify-everything-then-append contract — not a second whole-body
+        // String on top of it.
+        let mut folded = crate::stable_hash::fnv1a_init();
+        let mut verified: Vec<(String, String)> = Vec::new();
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            buf.clear();
+            if source.read_until(b'\n', &mut buf)? == 0 {
+                break;
+            }
+            folded = crate::stable_hash::fnv1a_fold(folded, &buf);
+            let bytes = buf.strip_suffix(b"\n").unwrap_or(&buf);
+            let canonical = std::str::from_utf8(bytes)
+                .ok()
+                .and_then(segment::scan_record);
+            let Some(canonical) = canonical else {
+                return Err(invalid(format!(
+                    "export record {} fails verification; nothing was imported",
+                    verified.len() + 1
+                )));
+            };
+            let line = String::from_utf8(bytes.to_vec()).expect("checked above");
+            verified.push((canonical, line));
+        }
+        if folded != digest {
+            return Err(invalid(
+                "export body digest mismatch — the bundle was truncated or corrupted in \
+                 transit; nothing was imported"
+                    .to_string(),
+            ));
+        }
+        if verified.len() as u64 != records {
+            return Err(invalid(format!(
+                "export header declares {records} records, body holds {}; nothing was \
+                 imported",
+                verified.len()
+            )));
+        }
+
+        let mut stats = ImportStats {
+            records,
+            ..ImportStats::default()
+        };
+        let mut inner = self.inner.lock();
+        for (canonical, line) in verified {
+            let key_digest = crate::stable_hash::fnv1a(canonical.as_bytes());
+            let already_live = inner
+                .index
+                .get(&key_digest)
+                .is_some_and(|e| e.canonical == canonical);
+            if already_live {
+                stats.skipped += 1;
+                continue;
+            }
+            let mut line = line;
+            line.push('\n');
+            self.append_record_line(&mut inner, &canonical, &line)?;
+            stats.imported += 1;
+        }
+        Ok(stats)
     }
 
     /// Makes sure `inner.active` can take another `upcoming` bytes, creating
@@ -481,7 +664,7 @@ pub(crate) fn read_span(path: &Path, offset: u64, len: u64) -> std::io::Result<S
 mod tests {
     use super::*;
     use crate::design_point::DesignPoint;
-    use crate::segment::SEGMENT_EXT;
+    use crate::segment::{EXPORT_MAGIC as SEGMENT_EXPORT_MAGIC, SEGMENT_EXT};
     use hpc_workloads::{Benchmark, GeneratorConfig};
 
     fn temp_root(tag: &str) -> PathBuf {
@@ -762,6 +945,101 @@ mod tests {
         assert_eq!(reader.load::<u64>(&key(Benchmark::Cg)), Some(2));
         let fresh = DiskStore::open(&root).unwrap();
         assert_eq!(fresh.load::<u64>(&key(Benchmark::Cg)), Some(2));
+    }
+
+    #[test]
+    fn export_import_round_trips_between_stores() {
+        // Machine A's warm store, exported and imported into machine B's.
+        let a = temp_store("export-a");
+        a.save(&key(Benchmark::Cg), &vec![1u64, 2]).unwrap();
+        a.save(&key(Benchmark::Lu), &vec![3u64]).unwrap();
+        let mut bundle = Vec::new();
+        assert_eq!(a.export_segments(&mut bundle).unwrap(), 2);
+
+        let b = temp_store("export-b");
+        b.save(&key(Benchmark::Lu), &vec![3u64]).unwrap(); // overlap
+        let stats = b.import_segments(std::io::Cursor::new(&bundle)).unwrap();
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.imported, 1, "only the missing key is appended");
+        assert_eq!(stats.skipped, 1, "the live key is never overridden");
+        assert_eq!(b.load::<Vec<u64>>(&key(Benchmark::Cg)), Some(vec![1, 2]));
+        assert_eq!(b.load::<Vec<u64>>(&key(Benchmark::Lu)), Some(vec![3]));
+
+        // Idempotent: importing the same bundle again appends nothing.
+        let again = b.import_segments(std::io::Cursor::new(&bundle)).unwrap();
+        assert_eq!((again.imported, again.skipped), (0, 2));
+
+        // The imported records survive a fresh verified open.
+        let reopened = DiskStore::open(b.root().to_path_buf()).unwrap();
+        assert_eq!(reopened.stats().entries, 2);
+        assert_eq!(
+            reopened.load::<Vec<u64>>(&key(Benchmark::Cg)),
+            Some(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn equal_stores_export_identical_bundles() {
+        let a = temp_store("export-det-a");
+        let b = temp_store("export-det-b");
+        for store in [&a, &b] {
+            store.save(&key(Benchmark::Cg), &7u64).unwrap();
+            store.save(&key(Benchmark::Ep), &9u64).unwrap();
+        }
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        a.export_segments(&mut ba).unwrap();
+        b.export_segments(&mut bb).unwrap();
+        assert_eq!(ba, bb, "bundles must be byte-deterministic");
+    }
+
+    #[test]
+    fn damaged_bundles_import_nothing() {
+        let a = temp_store("import-damage-src");
+        a.save(&key(Benchmark::Cg), &1u64).unwrap();
+        a.save(&key(Benchmark::Lu), &2u64).unwrap();
+        let mut bundle = Vec::new();
+        a.export_segments(&mut bundle).unwrap();
+        let text = String::from_utf8(bundle).unwrap();
+
+        let assert_rejected = |tag: &str, damaged: &str, expect: &str| {
+            let store = temp_store(&format!("import-damage-{tag}"));
+            let err = store
+                .import_segments(std::io::Cursor::new(damaged.as_bytes()))
+                .unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{tag}");
+            assert!(err.to_string().contains(expect), "{tag}: {err}");
+            assert_eq!(store.stats().entries, 0, "{tag}: must import nothing");
+            assert_eq!(store.stats().writes, 0, "{tag}: must append nothing");
+        };
+
+        // Truncated mid-record (a cut-off transfer): the partial tail line
+        // fails its own record verification.
+        assert_rejected("truncated", &text[..text.len() - 10], "fails verification");
+        // A record's value bytes flipped in transit: the per-record
+        // checksum catches it as the stream is scanned.
+        let flipped = text.replacen("\"value\":1", "\"value\":7", 1);
+        assert_ne!(flipped, text);
+        assert_rejected("flipped", &flipped, "fails verification");
+        // A whole record line dropped: every surviving record verifies, so
+        // only the body digest (and count) can see the loss.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.remove(1);
+        let mut dropped = lines.join("\n");
+        dropped.push('\n');
+        assert_rejected("dropped-line", &dropped, "digest mismatch");
+        // Not a bundle at all.
+        assert_rejected("garbage", "hello world\n", "unrecognised header");
+        // Unsupported future format.
+        let future = text.replacen(
+            &format!(
+                "{} {}",
+                SEGMENT_EXPORT_MAGIC,
+                segment::EXPORT_FORMAT_VERSION
+            ),
+            &format!("{} {}", SEGMENT_EXPORT_MAGIC, 99),
+            1,
+        );
+        assert_rejected("future", &future, "not supported");
     }
 
     #[test]

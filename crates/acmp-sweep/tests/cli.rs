@@ -301,6 +301,440 @@ fn single_shard_emits_its_subsequence_of_the_unsharded_rows() {
     }
 }
 
+/// The committed golden fixture: `--grid fig09 --benchmarks cg,lu` at
+/// quick scale, exactly as the CLI emits it.
+fn fixture_bytes() -> String {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/fig09.jsonl");
+    std::fs::read_to_string(path).expect("committed fixture is readable")
+}
+
+#[test]
+fn unsharded_output_matches_the_committed_fixture() {
+    // Golden snapshot: any drift in row format, field order, float
+    // printing, key derivation or simulation results fails here loudly
+    // instead of silently changing every consumer's bytes.
+    let run = run_sweep(&[
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--quiet",
+        "--no-disk-cache",
+    ]);
+    assert_eq!(
+        run.stdout,
+        fixture_bytes(),
+        "CLI output drifted off tests/fixtures/fig09.jsonl — if intentional, \
+         regenerate the fixture and flag the format change loudly"
+    );
+}
+
+/// Runs `sweep` expecting failure; returns stderr.
+fn run_sweep_expect_failure<S: AsRef<std::ffi::OsStr> + std::fmt::Debug>(args: &[S]) -> String {
+    let output = Command::new(sweep_bin())
+        .args(args)
+        .output()
+        .expect("sweep binary runs");
+    assert!(
+        !output.status.success(),
+        "sweep {args:?} unexpectedly passed"
+    );
+    String::from_utf8(output.stderr).unwrap()
+}
+
+#[test]
+fn manifest_pipeline_plans_runs_merges_and_transfers_between_machines() {
+    // The full multi-machine walkthrough on one host: plan → per-"machine"
+    // shard runs in disjoint cache dirs → offline merge (byte-identical to
+    // the fixture) → withheld/corrupt streams rejected with zero output →
+    // segment export/import warming the second machine to zero simulations.
+    let dir = temp_dir("manifest-pipeline");
+    let plan = dir.join("plan.json");
+    let plan_s = plan.to_str().unwrap();
+    let shard1 = dir.join("shard-1.jsonl");
+    let shard2 = dir.join("shard-2.jsonl");
+
+    // Plan: 6 cells across 2 shards, signed.
+    let planned = run_sweep(&[
+        "--plan",
+        plan_s,
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--shards",
+        "2",
+    ]);
+    assert!(
+        planned.stderr.contains("planned 6 cells across 2 shards"),
+        "{}",
+        planned.stderr
+    );
+    let manifest_text = std::fs::read_to_string(&plan).unwrap();
+    assert!(manifest_text.contains("\"digest\""), "{manifest_text}");
+
+    // Each "machine" runs its shard against its own cache dir — no shared
+    // filesystem, the manifest is the only shared artifact.
+    for (i, (out, cache)) in [(&shard1, "m1"), (&shard2, "m2")].iter().enumerate() {
+        let run = run_sweep(&[
+            "--manifest",
+            plan_s,
+            "--shard",
+            &format!("{}/2", i + 1),
+            "--cache-dir",
+            dir.join(cache).to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--quiet",
+        ]);
+        assert!(
+            run.stderr.contains("manifest") && run.stderr.contains("validated"),
+            "{}",
+            run.stderr
+        );
+    }
+
+    // Offline merge reproduces the unsharded bytes exactly.
+    let merged = dir.join("merged.jsonl");
+    let merge = run_sweep(&[
+        "merge",
+        "--manifest",
+        plan_s,
+        "--out",
+        merged.to_str().unwrap(),
+        shard1.to_str().unwrap(),
+        shard2.to_str().unwrap(),
+    ]);
+    assert!(merge.stderr.contains("byte-identical"), "{}", merge.stderr);
+    assert_eq!(std::fs::read_to_string(&merged).unwrap(), fixture_bytes());
+
+    // A withheld shard is named, and nothing is written.
+    let gone = dir.join("never-written.jsonl");
+    let stderr = run_sweep_expect_failure(&[
+        "merge",
+        "--manifest",
+        plan_s,
+        "--out",
+        gone.to_str().unwrap(),
+        shard1.to_str().unwrap(),
+    ]);
+    assert!(
+        stderr.contains("shard 2/2") && stderr.contains("missing"),
+        "the withheld shard must be named: {stderr}"
+    );
+    assert!(stderr.contains("wrote nothing"), "{stderr}");
+    assert!(!gone.exists(), "a failed merge must not create its output");
+
+    // Warm transfer: export machine 1's store, import into machine 2,
+    // and the *full* grid re-runs there with zero simulations and zero
+    // trace generations.
+    let bundle = dir.join("m1.bundle");
+    let exported = run_sweep(&[
+        "--export-segments",
+        bundle.to_str().unwrap(),
+        "--cache-dir",
+        dir.join("m1").to_str().unwrap(),
+    ]);
+    assert!(exported.stdout.contains("exported"), "{}", exported.stdout);
+    let imported = run_sweep(&[
+        "--import-segments",
+        bundle.to_str().unwrap(),
+        "--cache-dir",
+        dir.join("m2").to_str().unwrap(),
+    ]);
+    assert!(imported.stdout.contains("imported"), "{}", imported.stdout);
+    let warm = run_sweep(&[
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--quiet",
+        "--cache-dir",
+        dir.join("m2").to_str().unwrap(),
+    ]);
+    assert!(warm.stderr.contains("simulated 0"), "{}", warm.stderr);
+    assert!(warm.stderr.contains("trace-gens 0"), "{}", warm.stderr);
+    assert_eq!(warm.stdout, fixture_bytes());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_corruption_matrix_rejects_damage_with_zero_output_and_intact_inputs() {
+    // Build one good plan + two good shard streams, then damage copies in
+    // every way a multi-machine transfer realistically can.  Every case
+    // must fail, write nothing, and leave the inputs untouched.
+    let dir = temp_dir("merge-corruption");
+    let plan = dir.join("plan.json");
+    let plan_s = plan.to_str().unwrap().to_string();
+    // cg,lu × fig09 splits 3/3 across two shards, so both slots carry rows
+    // and a swapped file really is "the wrong slot", not an empty stream.
+    run_sweep(&[
+        "--plan",
+        &plan_s,
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--shards",
+        "2",
+    ]);
+    for i in 1..=2 {
+        run_sweep(&[
+            "--manifest",
+            &plan_s,
+            "--shard",
+            &format!("{i}/2"),
+            "--no-disk-cache",
+            "--out",
+            dir.join(format!("shard-{i}.jsonl")).to_str().unwrap(),
+            "--quiet",
+        ]);
+    }
+    let good_manifest = std::fs::read_to_string(&plan).unwrap();
+    let good_shard =
+        |i: u32| std::fs::read_to_string(dir.join(format!("shard-{i}.jsonl"))).unwrap();
+    let (good1, good2) = (good_shard(1), good_shard(2));
+
+    // Each case: (tag, manifest text, slot-1 stream, slot-2 stream, expected message)
+    let truncated_manifest = &good_manifest[..good_manifest.len() / 2];
+    let tampered_manifest = good_manifest.replace("\"scale\":\"quick\"", "\"scale\":\"paper\"");
+    assert_ne!(tampered_manifest, good_manifest);
+    let crlf1 = good1.replace('\n', "\r\n");
+    let mut duplicated2 = good2.clone();
+    duplicated2.push_str(good1.lines().next().unwrap());
+    duplicated2.push('\n');
+    let cases: Vec<(&str, &str, &str, &str, &str)> = vec![
+        (
+            "truncated-manifest",
+            truncated_manifest,
+            &good1,
+            &good2,
+            "parse",
+        ),
+        (
+            "digest-mismatch",
+            &tampered_manifest,
+            &good1,
+            &good2,
+            "digest mismatch",
+        ),
+        (
+            "wrong-slot",
+            &good_manifest,
+            &good2,
+            &good1,
+            "schedule expects",
+        ),
+        ("crlf", &good_manifest, &crlf1, &good2, "CRLF"),
+        (
+            "duplicate-across-shards",
+            &good_manifest,
+            &good1,
+            &duplicated2,
+            "more rows",
+        ),
+    ];
+
+    for (tag, manifest, s1, s2, expect) in cases {
+        let case_dir = dir.join(tag);
+        std::fs::create_dir_all(&case_dir).unwrap();
+        let case_plan = case_dir.join("plan.json");
+        let f1 = case_dir.join("shard-1.jsonl");
+        let f2 = case_dir.join("shard-2.jsonl");
+        std::fs::write(&case_plan, manifest).unwrap();
+        std::fs::write(&f1, s1).unwrap();
+        std::fs::write(&f2, s2).unwrap();
+        let out = case_dir.join("merged.jsonl");
+
+        let stderr = run_sweep_expect_failure(&[
+            "merge",
+            "--manifest",
+            case_plan.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            f1.to_str().unwrap(),
+            f2.to_str().unwrap(),
+        ]);
+        assert!(
+            stderr.contains(expect),
+            "{tag}: want `{expect}` in: {stderr}"
+        );
+        assert!(!out.exists(), "{tag}: zero partial output");
+        // Inputs are exactly as supplied — the merge never mutates them.
+        assert_eq!(
+            std::fs::read_to_string(&case_plan).unwrap(),
+            *manifest,
+            "{tag}"
+        );
+        assert_eq!(std::fs::read_to_string(&f1).unwrap(), *s1, "{tag}");
+        assert_eq!(std::fs::read_to_string(&f2).unwrap(), *s2, "{tag}");
+    }
+
+    // The same damaged manifests must also stop a shard *run* up front.
+    for (tag, manifest, expect) in [
+        ("truncated", truncated_manifest, "parse"),
+        ("tampered", tampered_manifest.as_str(), "digest mismatch"),
+    ] {
+        let bad_plan = dir.join(format!("bad-plan-{tag}.json"));
+        std::fs::write(&bad_plan, manifest).unwrap();
+        let stderr = run_sweep_expect_failure(&[
+            "--manifest",
+            bad_plan.to_str().unwrap(),
+            "--shard",
+            "1/2",
+            "--no-disk-cache",
+        ]);
+        assert!(stderr.contains(expect), "{tag}: {stderr}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn degenerate_splits_with_more_shards_than_cells_run_clean() {
+    // fig09 × cg is 3 cells; 5 shards guarantees empty shards.  The
+    // coordinator must still exit 0, give every child a non-zero worker
+    // pool, and merge byte-identically to the unsharded run.
+    let single = run_sweep(&[
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--quiet",
+        "--no-disk-cache",
+    ]);
+    let sharded = run_sweep(&[
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--quiet",
+        "--no-disk-cache",
+        "--shards",
+        "5",
+        "--workers",
+        "2",
+    ]);
+    assert_eq!(single.stdout, sharded.stdout);
+    assert!(
+        sharded.stderr.contains("merged 5 shard streams"),
+        "{}",
+        sharded.stderr
+    );
+    assert!(
+        sharded.stderr.contains("1 workers each") && !sharded.stderr.contains("0 workers each"),
+        "the worker split must never round to zero: {}",
+        sharded.stderr
+    );
+
+    // The manifest path agrees: an empty shard validates, emits zero rows
+    // and exits 0.
+    let dir = temp_dir("degenerate-manifest");
+    let plan = dir.join("plan.json");
+    run_sweep(&[
+        "--plan",
+        plan.to_str().unwrap(),
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--shards",
+        "8",
+    ]);
+    let mut empty_shards = 0;
+    for i in 1..=8u32 {
+        let out = dir.join(format!("shard-{i}.jsonl"));
+        let run = run_sweep(&[
+            "--manifest",
+            plan.to_str().unwrap(),
+            "--shard",
+            &format!("{i}/8"),
+            "--no-disk-cache",
+            "--out",
+            out.to_str().unwrap(),
+            "--quiet",
+        ]);
+        let rows = std::fs::read_to_string(&out).unwrap().lines().count();
+        if rows == 0 {
+            empty_shards += 1;
+            assert!(run.stderr.contains("owns 0 of 3"), "{}", run.stderr);
+        }
+    }
+    assert!(empty_shards >= 5, "8 shards over 3 cells leave ≥ 5 empty");
+
+    // And the merge accepts the gathered streams — including the empties.
+    let merged = dir.join("merged.jsonl");
+    let mut args: Vec<String> = vec![
+        "merge".into(),
+        "--manifest".into(),
+        plan.to_str().unwrap().into(),
+        "--out".into(),
+        merged.to_str().unwrap().into(),
+    ];
+    for i in 1..=8u32 {
+        args.push(
+            dir.join(format!("shard-{i}.jsonl"))
+                .to_str()
+                .unwrap()
+                .into(),
+        );
+    }
+    let merge = run_sweep(&args);
+    assert!(
+        merge.stderr.contains("merged 8 shard streams"),
+        "{}",
+        merge.stderr
+    );
+    assert_eq!(std::fs::read_to_string(&merged).unwrap(), single.stdout);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_conflicts_and_mismatches_are_rejected() {
+    let dir = temp_dir("manifest-conflicts");
+    let plan = dir.join("plan.json");
+    let plan_s = plan.to_str().unwrap().to_string();
+    run_sweep(&[
+        "--plan",
+        &plan_s,
+        "--benchmarks",
+        "cg",
+        "--designs",
+        "baseline",
+        "--shards",
+        "2",
+    ]);
+
+    // Grid flags conflict with --manifest: the grid comes from the plan.
+    let stderr = run_sweep_expect_failure(&[
+        "--manifest",
+        &plan_s,
+        "--shard",
+        "1/2",
+        "--benchmarks",
+        "cg",
+        "--no-disk-cache",
+    ]);
+    assert!(stderr.contains("conflicts with --manifest"), "{stderr}");
+
+    // A shard spec from a different split is rejected against the plan.
+    let stderr =
+        run_sweep_expect_failure(&["--manifest", &plan_s, "--shard", "1/3", "--no-disk-cache"]);
+    assert!(stderr.contains("planned for 2 shards"), "{stderr}");
+
+    // --manifest without --shard points at `sweep merge`.
+    let stderr = run_sweep_expect_failure(&["--manifest", &plan_s, "--no-disk-cache"]);
+    assert!(stderr.contains("--shard"), "{stderr}");
+
+    // merge requires a manifest.
+    let stderr = run_sweep_expect_failure(&["merge", "some.jsonl"]);
+    assert!(stderr.contains("--manifest"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn broken_pipe_exits_nonzero_and_quietly() {
     // `sweep … | head` used to be indistinguishable from a successful

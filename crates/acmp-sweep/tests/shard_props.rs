@@ -1,0 +1,127 @@
+//! Property-based tests of the sharding layer: for *arbitrary* grids and
+//! any shard count up to 16, `ShardSpec` ownership and
+//! `shard_key_schedule` must partition the keyspace exactly — ownership
+//! disjoint, union covering every key exactly once, and every per-shard
+//! schedule a sorted (digest-order) sub-sequence of the whole schedule.
+//! These are the invariants the multi-machine merge trusts: if any of
+//! them breaks, `sweep merge` either loses rows or double-emits them.
+
+use acmp_sweep::merge::shard_key_schedule;
+use acmp_sweep::{DesignPoint, JobKey, ShardSpec};
+use hpc_workloads::{Benchmark, GeneratorConfig};
+use proptest::prelude::*;
+
+/// Builds an arbitrary grid's job keys: `nb` benchmarks (rotating through
+/// the full benchmark list from `start`) × line-buffer sweeps `1..=nlb`,
+/// keyed under a seed-perturbed generator.  Every cell is distinct, so the
+/// key list has no duplicates by construction.
+fn arbitrary_keys(nb: usize, start: usize, nlb: usize, seed: u64) -> Vec<JobKey> {
+    let generator = GeneratorConfig::small().with_seed(seed % 1024);
+    let all = Benchmark::ALL;
+    let mut keys = Vec::with_capacity(nb * nlb);
+    for b in 0..nb {
+        let benchmark = all[(start + b) % all.len()];
+        for lb in 1..=nlb {
+            let design = DesignPoint::baseline().with_line_buffers(lb);
+            keys.push(JobKey::new(&generator, benchmark, &design));
+        }
+    }
+    keys
+}
+
+/// Whether `sub` is a (not necessarily contiguous) sub-sequence of `whole`.
+fn is_subsequence(sub: &[String], whole: &[String]) -> bool {
+    let mut walk = whole.iter();
+    sub.iter().all(|item| walk.any(|w| w == item))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ownership_is_disjoint_and_total(
+        nb in 1usize..7,
+        start in 0usize..24,
+        nlb in 1usize..9,
+        seed in any::<u64>(),
+        count in 1u32..17,
+    ) {
+        let keys = arbitrary_keys(nb, start, nlb, seed);
+        for key in &keys {
+            let owners = ShardSpec::all(count)
+                .filter(|shard| shard.owns(key.digest()))
+                .count();
+            prop_assert_eq!(owners, 1, "key {} must have exactly one owner", key.hex());
+        }
+    }
+
+    #[test]
+    fn schedules_partition_the_keyspace_exactly_once(
+        nb in 1usize..7,
+        start in 0usize..24,
+        nlb in 1usize..9,
+        seed in any::<u64>(),
+        count in 1u32..17,
+    ) {
+        let keys = arbitrary_keys(nb, start, nlb, seed);
+        let schedule = shard_key_schedule(&keys, count);
+        prop_assert_eq!(schedule.len(), count as usize);
+
+        // The union (as a multiset) is exactly the full key list: nothing
+        // lost, nothing duplicated across shards.
+        let mut union: Vec<String> = schedule.concat();
+        union.sort_unstable();
+        let mut want: Vec<String> = keys.iter().map(JobKey::hex).collect();
+        want.sort_unstable();
+        prop_assert_eq!(&union, &want);
+
+        // And each shard's schedule holds exactly the keys it owns.
+        for (shard, owned) in ShardSpec::all(count).zip(&schedule) {
+            for key in &keys {
+                let scheduled = owned.contains(&key.hex());
+                prop_assert_eq!(
+                    scheduled,
+                    shard.owns(key.digest()),
+                    "shard {} and key {} disagree", shard, key.hex()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn each_shard_schedule_is_a_sorted_subsequence_of_the_whole(
+        nb in 1usize..7,
+        start in 0usize..24,
+        nlb in 1usize..9,
+        seed in any::<u64>(),
+        count in 1u32..17,
+    ) {
+        let keys = arbitrary_keys(nb, start, nlb, seed);
+        let mut whole: Vec<String> = shard_key_schedule(&keys, 1).remove(0);
+        whole.sort_unstable();
+        for (i, shard) in shard_key_schedule(&keys, count).iter().enumerate() {
+            prop_assert!(shard.is_sorted(), "shard {} schedule must be sorted", i + 1);
+            prop_assert!(
+                is_subsequence(shard, &whole),
+                "shard {} schedule must be a sub-sequence of the digest-ordered whole",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_splits_yield_empty_schedules_not_errors(
+        seed in any::<u64>(),
+        count in 2u32..17,
+    ) {
+        // One cell, many shards: exactly one shard owns the key, the rest
+        // get empty — but well-formed — schedules.
+        let keys = arbitrary_keys(1, (seed % 24) as usize, 1, seed);
+        let schedule = shard_key_schedule(&keys, count);
+        prop_assert_eq!(schedule.len(), count as usize);
+        let occupied = schedule.iter().filter(|s| !s.is_empty()).count();
+        prop_assert_eq!(occupied, 1);
+        let total: usize = schedule.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, 1);
+    }
+}

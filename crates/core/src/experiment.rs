@@ -73,6 +73,18 @@ impl ExperimentContext {
         &self.engine
     }
 
+    /// The attached on-disk result store, if [`with_disk_cache`]
+    /// (Self::with_disk_cache) attached one.  This is the figure harnesses'
+    /// hook into the multi-machine warm-start path:
+    /// [`export_segments`](acmp_sweep::DiskStore::export_segments) the
+    /// store on the machine that already ran, ship the bundle, and
+    /// [`import_segments`](acmp_sweep::DiskStore::import_segments) it
+    /// wherever the next figure run happens — the warm run then reports
+    /// zero simulations and zero trace generations.
+    pub fn store(&self) -> Option<&acmp_sweep::DiskStore> {
+        self.engine.store()
+    }
+
     /// The trace-generation configuration in use.
     pub fn generator(&self) -> &GeneratorConfig {
         self.engine.generator()
@@ -244,6 +256,43 @@ mod tests {
         union.sort_unstable();
         assert_eq!(union, want, "two shards must cover the grid exactly");
         assert_eq!(simulated, 3, "no cell may simulate twice across shards");
+    }
+
+    #[test]
+    fn warm_stores_transfer_between_contexts_via_export_import() {
+        // Machine A runs a grid cold; its store is exported, shipped and
+        // imported into machine B's empty store; B's run is fully warm.
+        let dir = std::env::temp_dir().join(format!(
+            "acmp-core-experiment-transfer-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let benchmarks = [Benchmark::Cg, Benchmark::Lu];
+        let designs = [DesignPoint::baseline(), DesignPoint::proposed()];
+
+        let a = small_ctx().with_disk_cache(dir.join("machine-a")).unwrap();
+        let rows_a = a.sweep(&benchmarks, &designs);
+        assert_eq!(a.stats().simulated, 4);
+        let mut bundle = Vec::new();
+        a.store().unwrap().export_segments(&mut bundle).unwrap();
+
+        let b = small_ctx().with_disk_cache(dir.join("machine-b")).unwrap();
+        b.store()
+            .unwrap()
+            .import_segments(std::io::Cursor::new(&bundle))
+            .unwrap();
+        let rows_b = b.sweep(&benchmarks, &designs);
+        assert_eq!(b.stats().simulated, 0, "imported store must be fully warm");
+        assert_eq!(b.stats().trace_generated, 0);
+        let jsonl =
+            |o: &SweepOutcome| -> Vec<String> { o.rows.iter().map(|r| r.to_jsonl()).collect() };
+        assert_eq!(jsonl(&rows_a), jsonl(&rows_b));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contexts_without_a_disk_cache_expose_no_store() {
+        assert!(small_ctx().store().is_none());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! before comparing).
 
 use hpc_workloads::{Benchmark, GeneratorConfig};
-use shared_icache::acmp_sweep::{GridSpec, ShardSpec, SweepEngine};
+use shared_icache::acmp_sweep::merge::{merge_shard_streams, shard_key_schedule};
+use shared_icache::acmp_sweep::{scale_generator, GridSpec, JobKey, ShardSpec, SweepEngine};
 use shared_icache::DesignPoint;
 
 fn tiny_generator() -> GeneratorConfig {
@@ -211,6 +212,111 @@ fn sharded_engines_over_one_store_cover_the_grid_without_double_work() {
         assert_eq!(warm.stats().trace_generated, 0);
         assert_eq!(&warm_rows, reference.as_ref().unwrap());
     }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Golden snapshot: the committed fig09 fixture pins the exact JSONL bytes
+// every consumer (CI byte-diffs, the merge validator, downstream tooling)
+// relies on.  Cold, warm, sharded and merged runs must all reproduce it;
+// any format or simulation drift fails loudly here instead of silently
+// changing the output of every figure run.
+// ---------------------------------------------------------------------------
+
+/// The committed fig09 (× cg,lu, quick scale) JSONL fixture, exactly as the
+/// `sweep` CLI emits it: digest-sorted rows, one trailing newline.
+fn fig09_fixture() -> String {
+    // This file is compiled into the `shared-icache` package (crates/core),
+    // so the workspace root is two levels up from its manifest dir.
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/fig09.jsonl");
+    std::fs::read_to_string(path).expect("committed fixture is readable")
+}
+
+/// The fixture grid: `--grid fig09 --benchmarks cg,lu` at the CLI's quick
+/// scale.
+fn fig09_grid() -> (GridSpec, GeneratorConfig) {
+    let grid = GridSpec::parse("cg,lu", "fig09").unwrap();
+    let generator = scale_generator("quick").unwrap();
+    (grid, generator)
+}
+
+/// Runs the fixture grid on `engine` (whole or sharded) and returns the
+/// CLI's byte output: digest-sorted JSONL lines, newline-terminated when
+/// non-empty.
+fn fig09_bytes(engine: &SweepEngine) -> String {
+    let (grid, _) = fig09_grid();
+    let mut rows: Vec<String> = engine
+        .run_grid(&grid.benchmarks, &grid.designs)
+        .rows
+        .iter()
+        .map(|r| r.to_jsonl())
+        .collect();
+    rows.sort_unstable();
+    let mut text = rows.join("\n");
+    if !text.is_empty() {
+        text.push('\n');
+    }
+    text
+}
+
+#[test]
+fn golden_fig09_cold_warm_sharded_and_merged_runs_match_the_fixture() {
+    let fixture = fig09_fixture();
+    assert_eq!(fixture.lines().count(), 6, "fixture covers 2 × 3 cells");
+    let (grid, generator) = fig09_grid();
+    let dir = std::env::temp_dir().join(format!("acmp-sweep-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cold, with a store attached.
+    let cold = SweepEngine::new(generator)
+        .with_disk_store(dir.join("store"))
+        .unwrap();
+    assert_eq!(
+        fig09_bytes(&cold),
+        fixture,
+        "cold run drifted off the fixture"
+    );
+
+    // Warm, from a fresh engine over the same store.
+    let warm = SweepEngine::new(generator)
+        .with_disk_store(dir.join("store"))
+        .unwrap();
+    assert_eq!(
+        fig09_bytes(&warm),
+        fixture,
+        "warm run drifted off the fixture"
+    );
+    assert_eq!(warm.stats().simulated, 0);
+
+    // Sharded 2-way into disjoint stores (two machines), then merged
+    // offline through the validating k-way merge.
+    let keys: Vec<JobKey> = grid.jobs().iter().map(|job| job.key(&generator)).collect();
+    let schedule = shard_key_schedule(&keys, 2);
+    let mut streams = Vec::new();
+    for index in 0..2u32 {
+        let engine = SweepEngine::new(generator)
+            .with_shard(ShardSpec::new(index, 2).unwrap())
+            .with_disk_store(dir.join(format!("machine-{index}")))
+            .unwrap();
+        let stream = fig09_bytes(&engine);
+        for line in stream.lines() {
+            assert!(
+                fixture.lines().any(|fixture_line| fixture_line == line),
+                "every shard row must appear verbatim in the fixture"
+            );
+        }
+        streams.push(std::io::Cursor::new(stream));
+    }
+    let mut merged = Vec::new();
+    let rows = merge_shard_streams(streams, &schedule, &mut merged).unwrap();
+    assert_eq!(rows, 6);
+    assert_eq!(
+        String::from_utf8(merged).unwrap(),
+        fixture,
+        "offline merge of per-machine streams drifted off the fixture"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
