@@ -1,20 +1,25 @@
 //! `sweep` — run a (benchmark × design point) grid on the sweep engine.
 //!
 //! ```text
-//! sweep --grid fig09                         # quick benchmarks × Fig. 9 designs
-//! sweep --benchmarks all --designs fig12 --workers 8
-//! sweep --benchmarks cg,lu --designs baseline,proposed --out rows.jsonl
-//! sweep --grid fig07 --scale paper --cache-dir /tmp/sweep-cache
-//! sweep --grid fig09 --shards 3              # 3 shard processes, merged output
-//! sweep --grid fig09 --shard 2/3             # this process runs shard 2 only
-//! sweep --plan plan.json --grid fig09 --shards 2   # sign a multi-machine plan
-//! sweep --manifest plan.json --shard 1/2 --out shard-1.jsonl   # machine 1
+//! sweep run --grid fig09                     # quick benchmarks × Fig. 9 designs
+//! sweep run --benchmarks all --designs fig12 --workers 8
+//! sweep run --benchmarks cg,lu --designs baseline,proposed --out rows.jsonl
+//! sweep run --grid fig07 --scale paper --cache-dir /tmp/sweep-cache
+//! sweep run --grid fig09 --shards 3          # 3 shard processes, merged output
+//! sweep run --grid fig09 --shard 2/3         # this process runs shard 2 only
+//! sweep plan plan.json --grid fig09 --shards 2     # sign a multi-machine plan
+//! sweep run --manifest plan.json --shard 1/2 --out shard-1.jsonl   # machine 1
 //! sweep merge --manifest plan.json --out rows.jsonl shard-1.jsonl shard-2.jsonl
-//! sweep --export-segments warm.bundle        # ship a warm store elsewhere
-//! sweep --import-segments warm.bundle        # …and absorb it there
-//! sweep --compact                            # merge the store into one generation
-//! sweep --cache-stats                        # inspect the store, run nothing
+//! sweep store export warm.bundle             # ship a warm store elsewhere
+//! sweep store import warm.bundle             # …and absorb it there
+//! sweep store compact                        # merge the store into one generation
+//! sweep store stats                          # inspect the store, run nothing
 //! ```
+//!
+//! The pre-subcommand grammar — the same options as top-level flags, plus
+//! `--plan FILE`, `--compact`, `--cache-stats`, `--export-segments` and
+//! `--import-segments` — still works as a set of deprecated aliases, so
+//! existing scripts keep running unchanged.
 //!
 //! Result rows stream as JSONL (stdout by default, `--out FILE` otherwise)
 //! in stable digest order — every line starts with the fixed-width hex job
@@ -59,37 +64,53 @@ use std::io::Write;
 use std::path::PathBuf;
 
 const USAGE: &str = "\
-usage: sweep [options]
+usage: sweep run   [options]                 run a grid, or one shard of it
+       sweep plan  FILE [options]            sign a multi-machine shard manifest
        sweep merge --manifest plan.json [--out FILE] shard-1.jsonl … shard-N.jsonl
+       sweep store compact|stats|export FILE|import FILE [--cache-dir DIR]
+       sweep [options]                       (deprecated alias grammar, see below)
+
+run options:
   --benchmarks SPEC   all | quick | comma list of names     (default: quick)
   --designs SPEC      design spec (see below)               (default: baseline,proposed)
   --grid PRESET       shorthand for --designs PRESET
-  --workers N         pool threads                          (default: nproc, or $ACMP_SWEEP_WORKERS)
+  --workers N         pool threads                          (default: nproc)
   --shards N          run the grid as N shard processes sharing the cache,
                       then merge their rows (byte-identical to unsharded);
-                      with --plan, the shard count being planned
+                      with `sweep plan`, the shard count being planned
   --shard I/N         run only the cells whose stable key digest d has
                       d % N == I-1 (1-based I)
   --scale S           quick | paper trace scale             (default: quick)
-  --plan FILE         write a signed shard manifest (grid spec + per-shard
-                      key schedules + digest) to FILE, run nothing
   --manifest FILE     run one shard of a planned sweep (needs --shard I/N);
                       the grid and scale come from the manifest, which is
                       digest-checked and re-validated against this binary
   --out FILE          write JSONL rows to FILE              (default: stdout)
   --cache-dir DIR     on-disk result store                  (default: target/sweep-cache)
+  --keep-generations N  evict all but the newest N store generations at open
   --no-disk-cache     disable the on-disk store
-  --compact           compact the store into one generation, then exit
-  --cache-stats       print store contents (entries/segments/bytes), then exit
-  --export-segments FILE  write every live store record to FILE as a
-                      verified bundle for another machine, then exit
-  --import-segments FILE  absorb a bundle exported elsewhere (keys already
-                      present locally are kept, not overridden), then exit
   --quiet             suppress per-job progress lines
   --help              this text
 
+store subcommands (all honour --cache-dir):
+  compact             merge the store's live entries into one generation
+  stats               print store contents (entries/segments/bytes)
+  export FILE         write every live record to FILE as a verified bundle
+  import FILE         absorb a bundle exported elsewhere (local keys win)
+
+deprecated aliases: the run options work without the `run` subcommand, and
+  --plan FILE / --compact / --cache-stats / --export-segments FILE /
+  --import-segments FILE mirror `sweep plan` and the store subcommands.
+
 design specs: baseline proposed all-shared all-shared-single worker-shared-32k
               naive:N  lb:N  shared:KiB:LB:single|double  fig07..fig13 presets";
+
+const STORE_USAGE: &str = "\
+usage: sweep store compact|stats|export FILE|import FILE [--cache-dir DIR]
+  compact             merge the store's live entries into one generation
+  stats               print store contents (entries/segments/bytes)
+  export FILE         write every live record to FILE as a verified bundle
+  import FILE         absorb a bundle exported elsewhere (local keys win)
+  --cache-dir DIR     the store to operate on (default: target/sweep-cache)";
 
 const MERGE_USAGE: &str = "\
 usage: sweep merge --manifest plan.json [--out FILE] shard-1.jsonl … shard-N.jsonl
@@ -113,6 +134,7 @@ struct Options {
     manifest: Option<String>,
     out: Option<String>,
     cache_dir: Option<String>,
+    keep_generations: Option<u64>,
     disk_cache: bool,
     compact: bool,
     cache_stats: bool,
@@ -146,6 +168,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         manifest: None,
         out: None,
         cache_dir: None,
+        keep_generations: None,
         disk_cache: true,
         compact: false,
         cache_stats: false,
@@ -207,6 +230,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--manifest" => opts.manifest = Some(value("--manifest")?),
             "--out" => opts.out = Some(value("--out")?),
             "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
+            "--keep-generations" => {
+                let v = value("--keep-generations")?;
+                opts.keep_generations = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad generation count `{v}`"))?,
+                );
+            }
             "--no-disk-cache" => opts.disk_cache = false,
             "--compact" => opts.compact = true,
             "--cache-stats" => opts.cache_stats = true,
@@ -282,13 +314,8 @@ fn die_on_write_error(e: &std::io::Error) -> ! {
     std::process::exit(1);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("merge") {
-        run_merge(&args[1..]);
-        return;
-    }
-    let opts = match parse_args(&args) {
+fn parse_or_die(args: &[String]) -> Options {
+    match parse_args(args) {
         Ok(opts) => opts,
         Err(msg) => {
             if msg.is_empty() {
@@ -298,21 +325,65 @@ fn main() {
             eprintln!("sweep: {msg}\n\n{USAGE}");
             std::process::exit(2);
         }
-    };
+    }
+}
 
-    if opts.is_maintenance() {
-        run_maintenance(&opts);
-        return;
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("merge") => run_merge(&args[1..]),
+        Some("run") => {
+            let opts = parse_or_die(&args[1..]);
+            if opts.is_maintenance() {
+                eprintln!(
+                    "sweep: store maintenance is `sweep store compact|stats|export|import`, \
+                     not a `run` flag\n\n{STORE_USAGE}"
+                );
+                std::process::exit(2);
+            }
+            if opts.plan.is_some() {
+                eprintln!("sweep: planning is `sweep plan FILE`, not a `run` flag\n\n{USAGE}");
+                std::process::exit(2);
+            }
+            dispatch_run(&opts);
+        }
+        Some("plan") => {
+            // `sweep plan FILE [grid flags] --shards N` — sugar over the
+            // legacy `--plan FILE` grammar, sharing its conflict checks.
+            let Some(file) = args.get(1).filter(|a| !a.starts_with("--")).cloned() else {
+                eprintln!("sweep: `sweep plan` needs a manifest file to write\n\n{USAGE}");
+                std::process::exit(2);
+            };
+            let mut legacy = vec!["--plan".to_string(), file.clone()];
+            legacy.extend(args[2..].iter().cloned());
+            let opts = parse_or_die(&legacy);
+            run_plan(&opts, &file);
+        }
+        Some("store") => run_store(&args[1..]),
+        // Deprecated alias grammar: the run/plan/store options as bare
+        // top-level flags.  Kept silently working so existing scripts and
+        // CI keep running; new scripts should use the subcommands.
+        _ => {
+            let opts = parse_or_die(&args);
+            if opts.is_maintenance() {
+                run_maintenance(&opts);
+                return;
+            }
+            if let Some(path) = opts.plan.clone() {
+                run_plan(&opts, &path);
+                return;
+            }
+            dispatch_run(&opts);
+        }
     }
-    if let Some(path) = opts.plan.clone() {
-        run_plan(&opts, &path);
-        return;
-    }
+}
+
+/// The `run` path shared by `sweep run` and the legacy flag grammar.
+fn dispatch_run(opts: &Options) {
     if let Some(path) = opts.manifest.clone() {
-        run_manifest_shard(&opts, &path);
+        run_manifest_shard(opts, &path);
         return;
     }
-
     let grid = match GridSpec::parse(&opts.benchmarks, &opts.designs) {
         Ok(grid) => grid,
         Err(msg) => {
@@ -323,9 +394,56 @@ fn main() {
     let generator = scale_generator(&opts.scale).expect("scale validated at parse");
 
     match opts.shards {
-        Some(shards) => run_coordinator(&opts, &grid, &generator, shards),
-        None => run_grid(&opts, &grid, &generator, &opts.scale),
+        Some(shards) => run_coordinator(opts, &grid, &generator, shards),
+        None => run_grid(opts, &grid, &generator, &opts.scale),
     }
+}
+
+/// `sweep store compact|stats|export FILE|import FILE [--cache-dir DIR]`.
+fn run_store(args: &[String]) {
+    let mut opts = parse_or_die(&[]);
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("compact") => opts.compact = true,
+        Some("stats") => opts.cache_stats = true,
+        Some("export") | Some("import") => {
+            let action = args[0].as_str();
+            let Some(file) = it.next().filter(|a| !a.starts_with("--")).cloned() else {
+                eprintln!("sweep: `sweep store {action}` needs a bundle file\n\n{STORE_USAGE}");
+                std::process::exit(2);
+            };
+            if action == "export" {
+                opts.export_segments = Some(file);
+            } else {
+                opts.import_segments = Some(file);
+            }
+        }
+        Some("--help") | Some("-h") => {
+            eprintln!("{STORE_USAGE}");
+            std::process::exit(0);
+        }
+        other => {
+            let got = other.map_or_else(String::new, |o| format!(" (got `{o}`)"));
+            eprintln!("sweep: `sweep store` needs an action{got}\n\n{STORE_USAGE}");
+            std::process::exit(2);
+        }
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => match it.next() {
+                Some(dir) => opts.cache_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("sweep: --cache-dir needs a value\n\n{STORE_USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("sweep: unknown `sweep store` option `{other}`\n\n{STORE_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    run_maintenance(&opts);
 }
 
 /// Store maintenance modes: no grid, no engine.
@@ -435,7 +553,7 @@ fn run_plan(opts: &Options, path: &str) {
     );
     for shard in ShardSpec::all(manifest.shards) {
         eprintln!(
-            "sweep:   shard {shard} owns {} rows — run: sweep --manifest {path} --shard {shard} --out shard-{}.jsonl",
+            "sweep:   shard {shard} owns {} rows — run: sweep run --manifest {path} --shard {shard} --out shard-{}.jsonl",
             manifest.shard_schedule(shard).len(),
             shard.index() + 1,
         );
@@ -482,21 +600,24 @@ fn run_manifest_shard(opts: &Options, path: &str) {
 /// the manifest's scale on `--manifest` runs.
 fn run_grid(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig, scale: &str) {
     let shard = opts.shard.unwrap_or_else(ShardSpec::whole);
-    let mut engine = SweepEngine::new(*generator).with_shard(shard);
+    let mut builder = SweepEngine::builder(*generator).shard(shard);
     if let Some(n) = opts.workers {
-        engine = engine.with_threads(n);
+        builder = builder.workers(n);
     }
+    let root = cache_root(opts);
     if opts.disk_cache {
-        let root = cache_root(opts);
-        engine = match engine.with_disk_store_limited(&root, DiskStore::default_generation_limit())
-        {
-            Ok(engine) => engine,
-            Err(e) => {
-                eprintln!("sweep: cannot open cache dir {}: {e}", root.display());
-                std::process::exit(1);
-            }
-        };
+        builder = builder.store_dir(&root);
+        if let Some(keep) = opts.keep_generations {
+            builder = builder.kept_generations(keep);
+        }
     }
+    let engine = match builder.build() {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("sweep: cannot open cache dir {}: {e}", root.display());
+            std::process::exit(1);
+        }
+    };
 
     // One enumeration feeds everything: the owned-cell count below, the
     // jobs the engine runs, and — in the coordinator — the key schedule
@@ -622,7 +743,8 @@ fn run_coordinator(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig,
     for i in 1..=shards {
         let out_path = shard_dir.join(format!("shard-{i}.jsonl"));
         let mut cmd = std::process::Command::new(&exe);
-        cmd.arg("--benchmarks")
+        cmd.arg("run")
+            .arg("--benchmarks")
             .arg(&opts.benchmarks)
             .arg("--designs")
             .arg(&opts.designs)
@@ -640,6 +762,9 @@ fn run_coordinator(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig,
         match &store_root {
             Some(root) => {
                 cmd.arg("--cache-dir").arg(root);
+                if let Some(keep) = opts.keep_generations {
+                    cmd.arg("--keep-generations").arg(keep.to_string());
+                }
             }
             None => {
                 cmd.arg("--no-disk-cache");
@@ -808,8 +933,8 @@ fn run_merge(args: &[String]) {
         // the wrong slot and misattribute the resulting failures.
         let outcome: Result<Vec<String>, String> = match files.get(i) {
             None => Err(format!(
-                "missing — no stream supplied for its {} scheduled rows; run: sweep --manifest \
-                 {manifest_path} --shard {slot} --out shard-{}.jsonl",
+                "missing — no stream supplied for its {} scheduled rows; run: sweep run \
+                 --manifest {manifest_path} --shard {slot} --out shard-{}.jsonl",
                 schedule.len(),
                 i + 1,
             )),

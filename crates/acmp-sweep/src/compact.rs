@@ -290,7 +290,7 @@ mod tests {
                 JobKey::new(
                     &generator,
                     Benchmark::Cg,
-                    &DesignPoint::baseline().with_line_buffers(lb),
+                    &DesignPoint::baseline().with_line_buffers(lb).unwrap(),
                 )
             })
             .collect()

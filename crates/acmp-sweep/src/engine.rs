@@ -104,7 +104,102 @@ pub struct SweepEngine {
     trace_disk_hits: AtomicU64,
 }
 
+/// Configures and opens a [`SweepEngine`].
+///
+/// This is the one construction path for every knob an engine has —
+/// host-thread count, keyspace shard, disk store location and how many
+/// store generations to keep.  There are no environment-variable
+/// side-channels: a caller that wants a non-default value passes it here,
+/// so two engines built from the same code are configured identically no
+/// matter what the process environment looks like.
+///
+/// ```no_run
+/// use acmp_sweep::prelude::*;
+///
+/// let engine = SweepEngine::builder(hpc_workloads::GeneratorConfig::default())
+///     .workers(4)
+///     .store_dir("target/sweep-cache")
+///     .kept_generations(2)
+///     .build()?;
+/// # std::io::Result::Ok(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepEngineBuilder {
+    generator: GeneratorConfig,
+    workers: Option<usize>,
+    shard: ShardSpec,
+    store_dir: Option<std::path::PathBuf>,
+    kept_generations: Option<u64>,
+}
+
+impl SweepEngineBuilder {
+    /// Sets the number of host pool threads (≥ 1).  Defaults to the
+    /// machine's available parallelism.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Restricts the engine to one shard of the job keyspace (see
+    /// [`SweepEngine::with_shard`]).  Defaults to the whole keyspace.
+    #[must_use]
+    pub fn shard(mut self, shard: ShardSpec) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Attaches a content-addressed disk store rooted at `dir`.  Without
+    /// this the engine runs purely in memory.
+    #[must_use]
+    pub fn store_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Keeps only the newest `generations` store generations, evicting the
+    /// rest when the store opens.  Only meaningful together with
+    /// [`store_dir`](Self::store_dir); the default keeps every generation.
+    #[must_use]
+    pub fn kept_generations(mut self, generations: u64) -> Self {
+        self.kept_generations = Some(generations);
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a configured store directory cannot be
+    /// created or opened; construction without a store cannot fail.
+    pub fn build(self) -> std::io::Result<SweepEngine> {
+        let mut engine = SweepEngine::new(self.generator).with_shard(self.shard);
+        if let Some(workers) = self.workers {
+            engine = engine.with_threads(workers);
+        }
+        if let Some(dir) = self.store_dir {
+            engine = engine.with_disk_store_limited(dir, self.kept_generations)?;
+        }
+        Ok(engine)
+    }
+}
+
 impl SweepEngine {
+    /// Starts configuring an engine that generates traces with `generator`.
+    ///
+    /// See [`SweepEngineBuilder`] for the knobs; `build()` on the untouched
+    /// builder is equivalent to [`SweepEngine::new`].
+    #[must_use]
+    pub fn builder(generator: GeneratorConfig) -> SweepEngineBuilder {
+        SweepEngineBuilder {
+            generator,
+            workers: None,
+            shard: ShardSpec::whole(),
+            store_dir: None,
+            kept_generations: None,
+        }
+    }
+
     /// Creates an engine generating traces with `generator`, sized to the
     /// host, with no disk store.
     #[must_use]
@@ -171,20 +266,6 @@ impl SweepEngine {
     ) -> std::io::Result<Self> {
         self.store = Some(DiskStore::open_limited(root, limit)?);
         Ok(self)
-    }
-
-    /// Attaches the default disk store (`target/sweep-cache`, or
-    /// `$ACMP_SWEEP_CACHE`), honouring the generation bound in
-    /// `$ACMP_SWEEP_CACHE_GENERATIONS` if one is set.
-    ///
-    /// # Errors
-    ///
-    /// Returns the I/O error if the store directory cannot be created.
-    pub fn with_default_disk_store(self) -> std::io::Result<Self> {
-        self.with_disk_store_limited(
-            DiskStore::default_root(),
-            DiskStore::default_generation_limit(),
-        )
     }
 
     /// The trace-generation configuration.
@@ -294,7 +375,7 @@ impl SweepEngine {
         let traces = self.traces(benchmark);
         let config = design.acmp_config(self.simulated_workers());
         let result = Arc::new(
-            Machine::new(config, &traces)
+            Machine::with_shared_traces(config, traces)
                 .run()
                 .unwrap_or_else(|e| panic!("simulation of {benchmark} on {design} failed: {e}")),
         );

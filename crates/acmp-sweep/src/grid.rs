@@ -17,6 +17,7 @@
 //!     sweeps.
 
 use crate::design_point::DesignPoint;
+use crate::design_point::DesignPointError;
 use crate::job::SweepJob;
 use crate::stable_hash;
 use hpc_workloads::Benchmark;
@@ -128,37 +129,38 @@ fn parse_designs(spec: &str) -> Result<Vec<DesignPoint>, String> {
 }
 
 fn parse_design_token(token: &str) -> Result<Vec<DesignPoint>, String> {
+    // Presets use statically known-good parameters, so the fallible
+    // constructors cannot fail here.
+    let naive = |cpc| DesignPoint::naive_shared(cpc).expect("preset cpc is valid");
+    let shared = |kib, lb, bus| DesignPoint::shared(kib, lb, bus).expect("preset size is valid");
+    let lb = |n| {
+        DesignPoint::baseline()
+            .with_line_buffers(n)
+            .expect("preset line-buffer count is valid")
+    };
+
     // Figure presets: the exact design lists the paper's figures sweep.
     let preset = match token {
-        "fig07" => Some(vec![
-            DesignPoint::baseline(),
-            DesignPoint::naive_shared(2),
-            DesignPoint::naive_shared(4),
-            DesignPoint::naive_shared(8),
-        ]),
-        "fig08" => Some(vec![DesignPoint::baseline(), DesignPoint::naive_shared(8)]),
-        "fig09" => Some(vec![
-            DesignPoint::baseline().with_line_buffers(2),
-            DesignPoint::baseline().with_line_buffers(4),
-            DesignPoint::baseline().with_line_buffers(8),
-        ]),
+        "fig07" => Some(vec![DesignPoint::baseline(), naive(2), naive(4), naive(8)]),
+        "fig08" => Some(vec![DesignPoint::baseline(), naive(8)]),
+        "fig09" => Some(vec![lb(2), lb(4), lb(8)]),
         "fig10" => Some(vec![
             DesignPoint::baseline(),
-            DesignPoint::shared(16, 4, BusWidth::Single),
-            DesignPoint::shared(16, 8, BusWidth::Single),
-            DesignPoint::shared(16, 4, BusWidth::Double),
+            shared(16, 4, BusWidth::Single),
+            shared(16, 8, BusWidth::Single),
+            shared(16, 4, BusWidth::Double),
         ]),
         "fig11" => Some(vec![
             DesignPoint::baseline(),
-            DesignPoint::shared(32, 4, BusWidth::Double),
-            DesignPoint::shared(16, 4, BusWidth::Double),
+            shared(32, 4, BusWidth::Double),
+            shared(16, 4, BusWidth::Double),
         ]),
         "fig12" => Some(vec![
             DesignPoint::baseline(),
-            DesignPoint::shared(16, 4, BusWidth::Single),
-            DesignPoint::shared(16, 4, BusWidth::Double),
-            DesignPoint::shared(16, 8, BusWidth::Single),
-            DesignPoint::shared(16, 8, BusWidth::Double),
+            shared(16, 4, BusWidth::Single),
+            shared(16, 4, BusWidth::Double),
+            shared(16, 8, BusWidth::Single),
+            shared(16, 8, BusWidth::Double),
         ]),
         "fig13" => Some(vec![
             DesignPoint::worker_shared_32k_double(),
@@ -184,26 +186,25 @@ fn parse_design_token(token: &str) -> Result<Vec<DesignPoint>, String> {
         return Ok(vec![point]);
     }
 
-    // Parameterised generators.
+    // Parameterised generators.  Validation lives in the `DesignPoint`
+    // constructors; parsing only turns tokens into numbers and maps the
+    // typed [`DesignPointError`] onto the offending spec token.
+    let in_token = |e: DesignPointError| format!("{e} in `{token}`");
     let parts: Vec<&str> = token.split(':').collect();
     match parts.as_slice() {
         ["naive", cpc] => {
             let cpc: usize = cpc
                 .parse()
                 .map_err(|_| format!("bad cores-per-cache in `{token}`"))?;
-            if cpc == 0 {
-                return Err(format!("cores-per-cache must be ≥ 1 in `{token}`"));
-            }
-            Ok(vec![DesignPoint::naive_shared(cpc)])
+            Ok(vec![DesignPoint::naive_shared(cpc).map_err(in_token)?])
         }
         ["lb", n] => {
             let n: usize = n
                 .parse()
                 .map_err(|_| format!("bad line-buffer count in `{token}`"))?;
-            if n == 0 {
-                return Err(format!("line buffers must be ≥ 1 in `{token}`"));
-            }
-            Ok(vec![DesignPoint::baseline().with_line_buffers(n)])
+            Ok(vec![DesignPoint::baseline()
+                .with_line_buffers(n)
+                .map_err(in_token)?])
         }
         ["shared", kib, lb, bus] => {
             let kib: u64 = kib
@@ -217,17 +218,7 @@ fn parse_design_token(token: &str) -> Result<Vec<DesignPoint>, String> {
                 "double" => BusWidth::Double,
                 other => return Err(format!("bad bus width `{other}` in `{token}`")),
             };
-            if kib == 0 || lb == 0 {
-                return Err(format!(
-                    "cache size and line buffers must be ≥ 1 in `{token}`"
-                ));
-            }
-            // KiB → bytes must not wrap: an absurd size would otherwise
-            // silently simulate a tiny cache in release builds.
-            if kib.checked_mul(1024).is_none() {
-                return Err(format!("cache size overflows in `{token}` (KiB × 1024)"));
-            }
-            Ok(vec![DesignPoint::shared(kib, lb, bus)])
+            Ok(vec![DesignPoint::shared(kib, lb, bus).map_err(in_token)?])
         }
         _ => Err(format!(
             "unknown design spec `{token}` (named point, `naive:N`, `lb:N`, \
@@ -259,10 +250,13 @@ mod tests {
         assert_eq!(d[1], DesignPoint::proposed());
 
         let d = parse_designs("naive:4").unwrap();
-        assert_eq!(d, vec![DesignPoint::naive_shared(4)]);
+        assert_eq!(d, vec![DesignPoint::naive_shared(4).unwrap()]);
 
         let d = parse_designs("shared:16:8:double").unwrap();
-        assert_eq!(d, vec![DesignPoint::shared(16, 8, BusWidth::Double)]);
+        assert_eq!(
+            d,
+            vec![DesignPoint::shared(16, 8, BusWidth::Double).unwrap()]
+        );
 
         assert!(parse_designs("shared:16:8:triple").is_err());
         assert!(parse_designs("mystery").is_err());

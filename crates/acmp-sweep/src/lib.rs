@@ -55,8 +55,8 @@ pub mod stable_hash;
 pub mod store;
 
 pub use compact::CompactStats;
-pub use design_point::DesignPoint;
-pub use engine::{EngineStats, SweepEngine, SweepOutcome, SweepRow};
+pub use design_point::{DesignPoint, DesignPointError};
+pub use engine::{EngineStats, SweepEngine, SweepEngineBuilder, SweepOutcome, SweepRow};
 pub use grid::GridSpec;
 pub use job::{JobKey, ShardSpec, SweepJob};
 pub use manifest::{scale_generator, SweepManifest};
@@ -64,6 +64,26 @@ pub use merge::MergeError;
 pub use scheduler::{PoolStats, WorkStealingPool};
 pub use sharded::ShardedMap;
 pub use store::{DiskStore, ImportStats, StoreStats};
+
+/// Everything a sweep caller needs in one `use`.
+///
+/// ```no_run
+/// use acmp_sweep::prelude::*;
+///
+/// let generator = hpc_workloads::GeneratorConfig::default();
+/// let engine = SweepEngine::builder(generator)
+///     .workers(4)
+///     .build()
+///     .expect("engine construction only fails on store I/O errors");
+/// # let _ = engine;
+/// ```
+pub mod prelude {
+    pub use crate::design_point::{DesignPoint, DesignPointError};
+    pub use crate::engine::{EngineStats, SweepEngine, SweepEngineBuilder, SweepOutcome, SweepRow};
+    pub use crate::grid::GridSpec;
+    pub use crate::job::{JobKey, ShardSpec, SweepJob};
+    pub use crate::store::DiskStore;
+}
 
 #[cfg(test)]
 mod crate_tests {

@@ -29,20 +29,12 @@ pub struct PoolStats {
     pub injector_pops: u64,
 }
 
-/// Environment variable overriding the host-sized worker count (a positive
-/// integer; anything else is ignored).
-pub const WORKERS_ENV: &str = "ACMP_SWEEP_WORKERS";
-
-/// Resolves the host-sized worker count from an optional `$ACMP_SWEEP_WORKERS`
-/// value.  Split from [`WorkStealingPool::host_sized`] so the parsing is
-/// testable without mutating the process environment.
-fn host_worker_count(env_override: Option<&str>) -> usize {
-    if let Some(n) = env_override
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-    {
-        return n;
-    }
+/// The host-sized worker count: `available_parallelism`, falling back to 4
+/// when the platform cannot report it (containers without cpuset info,
+/// exotic platforms).  Callers that want a different count say so
+/// explicitly — [`SweepEngineBuilder::workers`](crate::SweepEngineBuilder::workers)
+/// or `sweep run --workers N`; there is no environment override.
+fn host_worker_count() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
@@ -76,19 +68,13 @@ impl WorkStealingPool {
         }
     }
 
-    /// A pool sized to the machine: a positive `$ACMP_SWEEP_WORKERS` wins,
-    /// then `available_parallelism`, then a fallback of 4.
-    ///
-    /// The environment override exists for multi-process runs: N shard
-    /// processes sweeping one grid must split the machine's cores between
-    /// them, not each size a pool to the whole machine.  It also replaces
-    /// the old silent fallback-to-4 with something an operator can steer
-    /// when `available_parallelism` is unavailable (containers without
-    /// cpuset info, exotic platforms).
+    /// A pool sized to the machine: `available_parallelism`, then a
+    /// fallback of 4.  Multi-process runs that must split the machine's
+    /// cores pass an explicit count instead (the `--shards N` coordinator
+    /// hands each child its share via `--workers`).
     #[must_use]
     pub fn host_sized() -> Self {
-        let env = std::env::var(WORKERS_ENV).ok();
-        Self::new(host_worker_count(env.as_deref()))
+        Self::new(host_worker_count())
     }
 
     /// Number of worker threads.
@@ -282,16 +268,8 @@ mod tests {
     }
 
     #[test]
-    fn worker_env_override_accepts_positive_integers_only() {
-        assert_eq!(host_worker_count(Some("8")), 8);
-        assert_eq!(host_worker_count(Some(" 3 ")), 3);
-        assert_eq!(host_worker_count(Some("1")), 1);
-        // Unset or unusable values fall back to the host size, never panic
-        // and never silently pin the pool to a bad parse.
-        let fallback = host_worker_count(None);
-        assert!(fallback >= 1);
-        for bad in ["0", "-2", "lots", "", "4.5"] {
-            assert_eq!(host_worker_count(Some(bad)), fallback, "`{bad}`");
-        }
+    fn host_sized_pool_has_at_least_one_worker() {
+        assert!(WorkStealingPool::host_sized().workers() >= 1);
+        assert_eq!(WorkStealingPool::new(0).workers(), 1, "zero is clamped");
     }
 }

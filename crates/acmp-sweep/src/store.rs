@@ -43,10 +43,6 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Environment variable bounding how many generations survive an
-/// [`open_limited`](DiskStore::open_limited) with the default limit.
-pub const GENERATION_LIMIT_ENV: &str = "ACMP_SWEEP_CACHE_GENERATIONS";
-
 /// Counters describing how a store behaved over its lifetime, plus a
 /// snapshot of its current contents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -198,23 +194,12 @@ impl DiskStore {
     }
 
     /// The default store location: `target/sweep-cache` under the current
-    /// directory, overridable via the `ACMP_SWEEP_CACHE` environment
-    /// variable.
+    /// directory.  A different location is an explicit choice — `--cache-dir`
+    /// on the CLI, [`store_dir`](crate::SweepEngineBuilder::store_dir) on
+    /// the builder — never an environment variable.
     #[must_use]
     pub fn default_root() -> PathBuf {
-        std::env::var_os("ACMP_SWEEP_CACHE")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("target").join("sweep-cache"))
-    }
-
-    /// The default generation bound: `$ACMP_SWEEP_CACHE_GENERATIONS` if set
-    /// to a positive integer, otherwise no bound.
-    #[must_use]
-    pub fn default_generation_limit() -> Option<u64> {
-        std::env::var(GENERATION_LIMIT_ENV)
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .filter(|&n| n >= 1)
+        PathBuf::from("target").join("sweep-cache")
     }
 
     /// The store directory.
@@ -730,7 +715,7 @@ mod tests {
         let generator = GeneratorConfig::small();
         let mut designs = Vec::new();
         for lb in 1..=50 {
-            designs.push(DesignPoint::baseline().with_line_buffers(lb));
+            designs.push(DesignPoint::baseline().with_line_buffers(lb).unwrap());
         }
         for (i, d) in designs.iter().enumerate() {
             let k = JobKey::new(&generator, Benchmark::Cg, d);
@@ -1043,8 +1028,10 @@ mod tests {
     }
 
     #[test]
-    fn generation_limit_env_is_parsed() {
-        // Only checks the parser, not the env (tests run in parallel).
-        assert_eq!(DiskStore::default_generation_limit(), None);
+    fn default_root_is_fixed_and_environment_free() {
+        assert_eq!(
+            DiskStore::default_root(),
+            std::path::Path::new("target").join("sweep-cache")
+        );
     }
 }

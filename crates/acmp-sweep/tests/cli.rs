@@ -793,3 +793,219 @@ fn bad_specs_exit_nonzero_with_a_message() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("not-a-design"), "{stderr}");
 }
+
+#[test]
+fn run_subcommand_matches_the_legacy_flag_grammar() {
+    // The deprecated top-level flags must stay a silent alias for
+    // `sweep run` — byte-identical rows, same summary shape.
+    let legacy = run_sweep(&[
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--quiet",
+        "--no-disk-cache",
+    ]);
+    let new = run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--quiet",
+        "--no-disk-cache",
+    ]);
+    assert_eq!(legacy.stdout, new.stdout);
+    assert!(new.stderr.contains("3 jobs"), "{}", new.stderr);
+}
+
+#[test]
+fn plan_subcommand_writes_a_manifest_run_and_merge_complete() {
+    let dir = temp_dir("plan-subcommand");
+    let manifest = dir.join("plan.json");
+    let manifest = manifest.to_str().unwrap();
+    let planned = run_sweep(&[
+        "plan",
+        manifest,
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--shards",
+        "2",
+    ]);
+    assert!(
+        planned.stderr.contains("planned 6 cells across 2 shards"),
+        "{}",
+        planned.stderr
+    );
+    // The printed hints must use the subcommand grammar.
+    assert!(
+        planned.stderr.contains("sweep run --manifest"),
+        "{}",
+        planned.stderr
+    );
+
+    for shard in 1..=2 {
+        let out = dir.join(format!("shard-{shard}.jsonl"));
+        run_sweep(&[
+            "run",
+            "--manifest",
+            manifest,
+            "--shard",
+            &format!("{shard}/2"),
+            "--quiet",
+            "--no-disk-cache",
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+    }
+    let merged = run_sweep(&[
+        "merge",
+        "--manifest",
+        manifest,
+        dir.join("shard-1.jsonl").to_str().unwrap(),
+        dir.join("shard-2.jsonl").to_str().unwrap(),
+    ]);
+    assert_eq!(merged.stdout.lines().count(), 6);
+
+    let whole = run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--quiet",
+        "--no-disk-cache",
+    ]);
+    assert_eq!(
+        merged.stdout, whole.stdout,
+        "merge must equal unsharded run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_subcommand_covers_stats_compact_export_import() {
+    let dir = temp_dir("store-subcommand");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().unwrap();
+    run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--quiet",
+        "--cache-dir",
+        cache,
+    ]);
+
+    let stats = run_sweep(&["store", "stats", "--cache-dir", cache]);
+    assert!(stats.stdout.contains("entries"), "{}", stats.stdout);
+
+    let compacted = run_sweep(&["store", "compact", "--cache-dir", cache]);
+    assert!(
+        compacted.stdout.contains("live entries"),
+        "{}",
+        compacted.stdout
+    );
+
+    let bundle = dir.join("bundle.bin");
+    let bundle = bundle.to_str().unwrap();
+    run_sweep(&["store", "export", bundle, "--cache-dir", cache]);
+
+    let other = dir.join("other");
+    let other = other.to_str().unwrap();
+    run_sweep(&["store", "import", bundle, "--cache-dir", other]);
+
+    // The imported store must warm-start a run with zero simulations.
+    let warm = run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--quiet",
+        "--cache-dir",
+        other,
+    ]);
+    assert!(warm.stderr.contains("simulated 0"), "{}", warm.stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn misused_subcommands_exit_with_guidance() {
+    // `run` refuses maintenance and planning flags, pointing at the
+    // dedicated subcommands.
+    let output = Command::new(sweep_bin())
+        .args(["run", "--compact"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("sweep store"), "{stderr}");
+
+    let output = Command::new(sweep_bin())
+        .args(["run", "--plan", "x.json"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("sweep plan"), "{stderr}");
+
+    // `plan` without a file and `store` without an action both fail with
+    // usage, not a panic.
+    let output = Command::new(sweep_bin()).args(["plan"]).output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("manifest file"), "{stderr}");
+
+    let output = Command::new(sweep_bin())
+        .args(["store", "frobnicate"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("needs an action"), "{stderr}");
+}
+
+#[test]
+fn keep_generations_flag_bounds_the_store() {
+    let dir = temp_dir("keep-generations");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().unwrap();
+    let run = |benchmarks: &str| {
+        run_sweep(&[
+            "run",
+            "--benchmarks",
+            benchmarks,
+            "--designs",
+            "baseline",
+            "--quiet",
+            "--cache-dir",
+            cache,
+            "--keep-generations",
+            "1",
+        ])
+    };
+    // Each run opens a new generation; with --keep-generations 1 the open
+    // evicts all but the newest, so the first run's entries are gone.
+    run("cg");
+    run("lu");
+    let rerun = run("cg");
+    assert!(
+        rerun.stderr.contains("simulated 1"),
+        "evicted generation must be re-simulated: {}",
+        rerun.stderr
+    );
+
+    let output = Command::new(sweep_bin())
+        .args(["run", "--keep-generations", "0", "--no-disk-cache"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("bad generation count"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,7 +22,7 @@ fn arbitrary_keys(nb: usize, start: usize, nlb: usize, seed: u64) -> Vec<JobKey>
     for b in 0..nb {
         let benchmark = all[(start + b) % all.len()];
         for lb in 1..=nlb {
-            let design = DesignPoint::baseline().with_line_buffers(lb);
+            let design = DesignPoint::baseline().with_line_buffers(lb).unwrap();
             keys.push(JobKey::new(&generator, benchmark, &design));
         }
     }

@@ -1,0 +1,89 @@
+//! `cache_lookup`: sim-cache set-associative lookup throughput.
+//!
+//! Drives a 32 KB I-cache with a deterministic mixed-locality address
+//! stream (hot loop + strided code walk, the shape instruction fetch
+//! produces) and reports nanoseconds per access — the structure-of-arrays
+//! tag layout and multiply-shift line hashing show up directly here.  The
+//! trajectory lands in `BENCH_cache_lookup.json` at the workspace root.
+
+use bench_harness::{bench_samples, write_bench_report};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use serde_json::json;
+use sim_cache::{CacheConfig, SetAssocCache};
+use std::time::Instant;
+
+const STREAM_LEN: usize = 200_000;
+
+/// Deterministic address stream: 3/4 of accesses walk a hot 16 KB loop,
+/// the rest stride through a 1 MB code region — tag hits dominate, with a
+/// steady trickle of misses and evictions, like real fetch traffic.
+fn address_stream() -> Vec<u64> {
+    let mut addrs = Vec::with_capacity(STREAM_LEN);
+    let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+    for i in 0..STREAM_LEN {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let addr = if !lcg.is_multiple_of(4) {
+            0x40_0000 + (lcg >> 33) % (16 * 1024)
+        } else {
+            0x80_0000 + (i as u64 * 192) % (1024 * 1024)
+        };
+        addrs.push(addr & !3);
+    }
+    addrs
+}
+
+/// One pass over the stream; returns the hit count so the work cannot be
+/// optimised away.
+fn run_lookups(cache: &mut SetAssocCache, addrs: &[u64]) -> u64 {
+    let mut hits = 0u64;
+    for &addr in addrs {
+        if cache.access(addr).is_hit() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+fn bench_cache_lookup(c: &mut Criterion) {
+    let addrs = address_stream();
+    let mut cache = SetAssocCache::new(CacheConfig::icache_32k());
+    // Warm once so the measured passes see a populated cache.
+    run_lookups(&mut cache, &addrs);
+
+    let mut group = c.benchmark_group("cache_lookup");
+    group.bench_function("icache_32k/mixed", |b| {
+        b.iter(|| black_box(run_lookups(&mut cache, &addrs)))
+    });
+    group.finish();
+
+    let samples = bench_samples(5);
+    let start = Instant::now();
+    let mut hits = 0;
+    for _ in 0..samples {
+        hits = run_lookups(&mut cache, &addrs);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(samples);
+    let ns_per_lookup = wall_ms * 1e6 / STREAM_LEN as f64;
+    let report = json!({
+        "bench": "cache_lookup",
+        "cache": "icache_32k",
+        "samples": samples,
+        "accesses": STREAM_LEN,
+        "hits": hits,
+        "pass_ms": wall_ms,
+        "ns_per_lookup": ns_per_lookup,
+    });
+    write_bench_report("BENCH_cache_lookup.json", &report);
+    println!(
+        "cache_lookup: {STREAM_LEN} accesses ({hits} hits) in {wall_ms:.2} ms ({ns_per_lookup:.1} ns/lookup), trajectory in BENCH_cache_lookup.json"
+    );
+}
+
+criterion_group! {
+    name = cache_lookup;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache_lookup,
+}
+criterion_main!(cache_lookup);

@@ -1,0 +1,73 @@
+//! `core_loop`: the sim-core per-cycle loop, timed through a whole machine.
+//!
+//! Builds one quick-scale machine (CG traces, baseline design) and runs it
+//! to completion, reporting nanoseconds per simulated machine cycle — the
+//! number the event-driven idle skip, the head-fetch memo and the lookahead
+//! prefix skip all exist to shrink.  The trajectory lands in
+//! `BENCH_core_loop.json` at the workspace root.
+
+use acmp_sweep::prelude::*;
+use bench_harness::{bench_samples, write_bench_report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpc_workloads::{Benchmark, GeneratorConfig, TraceGenerator};
+use serde_json::json;
+use sim_acmp::Machine;
+use sim_trace::TraceSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn generator() -> GeneratorConfig {
+    GeneratorConfig {
+        num_workers: 4,
+        parallel_instructions_per_thread: 20_000,
+        num_phases: 2,
+        seed: 0xC0FF_EE00,
+    }
+}
+
+fn traces() -> Arc<TraceSet> {
+    Arc::new(TraceGenerator::new(Benchmark::Cg.profile(), generator()).generate())
+}
+
+/// Runs one machine to completion; returns the simulated cycle count.
+fn run_machine(traces: &Arc<TraceSet>) -> u64 {
+    let config = DesignPoint::baseline().acmp_config(generator().num_workers);
+    let machine = Machine::with_shared_traces(config, Arc::clone(traces));
+    machine.run().expect("quick-scale machine completes").cycles
+}
+
+fn bench_core_loop(c: &mut Criterion) {
+    let traces = traces();
+    let mut group = c.benchmark_group("core_loop");
+    group.bench_function("cg/baseline", |b| b.iter(|| run_machine(&traces)));
+    group.finish();
+
+    let samples = bench_samples(3);
+    let start = Instant::now();
+    let mut cycles = 0u64;
+    for _ in 0..samples {
+        cycles = run_machine(&traces);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(samples);
+    let ns_per_cycle = wall_ms * 1e6 / cycles as f64;
+    let report = json!({
+        "bench": "core_loop",
+        "benchmark": "cg",
+        "design": "baseline",
+        "samples": samples,
+        "machine_cycles": cycles,
+        "run_ms": wall_ms,
+        "ns_per_cycle": ns_per_cycle,
+    });
+    write_bench_report("BENCH_core_loop.json", &report);
+    println!(
+        "core_loop: {cycles} cycles in {wall_ms:.1} ms ({ns_per_cycle:.0} ns/cycle), trajectory in BENCH_core_loop.json"
+    );
+}
+
+criterion_group! {
+    name = core_loop;
+    config = Criterion::default().sample_size(5);
+    targets = bench_core_loop,
+}
+criterion_main!(core_loop);

@@ -1,12 +1,22 @@
 //! `sweep_throughput`: 1-worker vs N-worker wall time on a small grid.
 //!
 //! Times the sweep engine end-to-end (trace generation + simulation +
-//! caching) on the quick-benchmark × Fig. 7 grid, once pinned to a single
-//! pool thread and once at host parallelism, and writes the measured
+//! caching) on the quick-benchmark × Fig. 7 grid and writes the measured
 //! trajectory to `BENCH_sweep.json` at the workspace root so the speedup is
 //! tracked across revisions.
+//!
+//! The two arms are a genuine serial-vs-N comparison:
+//!
+//! * distinct worker counts on every host — the serial arm is pinned to one
+//!   pool thread, the parallel arm to `bench_harness::throughput::
+//!   parallel_workers()` (host size, floored at 4 so a 1-CPU CI container
+//!   cannot collapse the arms onto each other);
+//! * a cold store per arm — every measured run builds a fresh engine with
+//!   no disk store and empty in-memory caches, so neither arm warm-starts
+//!   from the other's work.
 
-use acmp_sweep::{DesignPoint, SweepEngine};
+use acmp_sweep::prelude::*;
+use bench_harness::{bench_samples, throughput, write_bench_report};
 use criterion::{criterion_group, criterion_main, Criterion};
 use hpc_workloads::{Benchmark, GeneratorConfig};
 use serde_json::json;
@@ -33,65 +43,66 @@ fn generator() -> GeneratorConfig {
 fn designs() -> Vec<DesignPoint> {
     vec![
         DesignPoint::baseline(),
-        DesignPoint::naive_shared(2),
-        DesignPoint::naive_shared(4),
-        DesignPoint::naive_shared(8),
+        DesignPoint::naive_shared(2).expect("bench cpc is valid"),
+        DesignPoint::naive_shared(4).expect("bench cpc is valid"),
+        DesignPoint::naive_shared(8).expect("bench cpc is valid"),
     ]
 }
 
 /// Runs the full grid on a fresh (cold-cache, no disk store) engine.
-fn run_grid(threads: usize) -> usize {
-    let engine = SweepEngine::new(generator()).with_threads(threads);
+fn run_grid(workers: usize) -> usize {
+    let engine = SweepEngine::builder(generator())
+        .workers(workers)
+        .build()
+        .expect("building without a disk store cannot fail");
     engine.run_grid(&BENCHMARKS, &designs()).rows.len()
 }
 
-fn host_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-}
-
 /// Mean wall time of `samples` cold runs, in milliseconds.
-fn measure_ms(threads: usize, samples: u32) -> f64 {
+fn measure_ms(workers: usize, samples: u32) -> f64 {
     let start = Instant::now();
     for _ in 0..samples {
-        run_grid(threads);
+        run_grid(workers);
     }
     start.elapsed().as_secs_f64() * 1e3 / f64::from(samples)
 }
 
 fn bench_sweep_throughput(c: &mut Criterion) {
-    let host = host_threads();
+    let serial = throughput::SERIAL_WORKERS;
+    let parallel = throughput::parallel_workers();
+    assert!(
+        parallel > serial,
+        "bench arms must use distinct worker counts ({serial} vs {parallel})"
+    );
     let mut group = c.benchmark_group("sweep_throughput");
-    group.bench_function("workers/1", |b| b.iter(|| run_grid(1)));
-    group.bench_function(format!("workers/{host}"), |b| b.iter(|| run_grid(host)));
+    group.bench_function(format!("workers/{serial}"), |b| b.iter(|| run_grid(serial)));
+    group.bench_function(format!("workers/{parallel}"), |b| {
+        b.iter(|| run_grid(parallel))
+    });
     group.finish();
 
     // Trajectory file: an explicit measurement (independent of the bench
     // harness's sample accounting) written where CI and later revisions can
     // diff it.
-    let samples = 3;
-    let serial_ms = measure_ms(1, samples);
-    let parallel_ms = measure_ms(host, samples);
+    let samples = bench_samples(3);
+    let serial_ms = measure_ms(serial, samples);
+    let parallel_ms = measure_ms(parallel, samples);
     let jobs = BENCHMARKS.len() * designs().len();
     let report = json!({
         "bench": "sweep_throughput",
         "grid_jobs": jobs,
         "samples": samples,
-        "workers_serial": 1,
-        "workers_parallel": host,
+        "workers_serial": serial,
+        "workers_parallel": parallel,
         "serial_ms": serial_ms,
         "parallel_ms": parallel_ms,
         "speedup": serial_ms / parallel_ms,
     });
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
-    match std::fs::write(path, format!("{report}\n")) {
-        Ok(()) => println!(
-            "sweep_throughput: {jobs} jobs — {serial_ms:.1} ms serial, {parallel_ms:.1} ms on {host} workers ({:.2}x), trajectory in BENCH_sweep.json",
-            serial_ms / parallel_ms
-        ),
-        Err(e) => eprintln!("sweep_throughput: could not write {path}: {e}"),
-    }
+    write_bench_report("BENCH_sweep.json", &report);
+    println!(
+        "sweep_throughput: {jobs} jobs — {serial_ms:.1} ms serial, {parallel_ms:.1} ms on {parallel} workers ({:.2}x), trajectory in BENCH_sweep.json",
+        serial_ms / parallel_ms
+    );
 }
 
 criterion_group! {

@@ -5,7 +5,7 @@
 //! evaluation; the Criterion benches in `benches/figures.rs` time the
 //! underlying simulations.
 
-use acmp_sweep::SweepEngine;
+use acmp_sweep::prelude::*;
 use hpc_workloads::{Benchmark, GeneratorConfig};
 use shared_icache::ExperimentContext;
 
@@ -49,15 +49,20 @@ impl Scale {
 
     /// Builds a sweep engine at this scale (memory caches only).
     pub fn engine(self) -> SweepEngine {
-        SweepEngine::new(self.generator())
+        SweepEngine::builder(self.generator())
+            .build()
+            .expect("building without a disk store cannot fail")
     }
 
     /// Builds an experiment context backed by the default on-disk result
-    /// store (`target/sweep-cache`, or `$ACMP_SWEEP_CACHE`), so repeated
-    /// harness runs warm-start.  Falls back to a memory-only context if the
-    /// store directory cannot be created.
+    /// store (`target/sweep-cache`), so repeated harness runs warm-start.
+    /// Falls back to a memory-only context if the store directory cannot be
+    /// created.
     pub fn warm_context(self) -> ExperimentContext {
-        match self.engine().with_default_disk_store() {
+        let warm = SweepEngine::builder(self.generator())
+            .store_dir(DiskStore::default_root())
+            .build();
+        match warm {
             Ok(engine) => ExperimentContext::from_engine(engine),
             Err(_) => self.context(),
         }
@@ -79,6 +84,61 @@ pub const EXPERIMENT_IDS: [&str; 13] = [
     "fig12", "fig13", "all",
 ];
 
+/// Worker-count policy for the `sweep_throughput` bench's two arms.
+///
+/// The policy lives here (not in the bench file) so a unit test can pin the
+/// property the bench depends on: the arms must use *distinct* worker
+/// counts on every host.  The bench once sized its "parallel" arm to
+/// `available_parallelism`, which on a 1-CPU CI container collapsed both
+/// arms to one worker — the reported "speedup" was pure timing noise.
+pub mod throughput {
+    /// The serial arm always runs one pool thread.
+    pub const SERIAL_WORKERS: usize = 1;
+
+    /// The parallel arm for a host reporting `host` available threads: the
+    /// host size, floored at 4 so the comparison stays a genuine 1-vs-N
+    /// even when the host reports a single CPU.
+    #[must_use]
+    pub fn parallel_workers_for(host: usize) -> usize {
+        host.max(4)
+    }
+
+    /// The parallel arm on this machine.
+    #[must_use]
+    pub fn parallel_workers() -> usize {
+        parallel_workers_for(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+        )
+    }
+}
+
+/// Sample count for the `BENCH_*.json` trajectory measurements:
+/// `$BENCH_SAMPLES` when set to a positive integer (CI quick mode passes
+/// `BENCH_SAMPLES=1`), otherwise `default`.
+#[must_use]
+pub fn bench_samples(default: u32) -> u32 {
+    std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// Writes a `BENCH_*.json` trajectory report to the workspace root.
+///
+/// `file` is the bare file name (`BENCH_sweep.json`); the contents are one
+/// JSON object plus a trailing newline, so revisions diff cleanly.
+pub fn write_bench_report(file: &str, report: &serde::Value) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file);
+    if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
+        eprintln!("bench: could not write {}: {e}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +158,28 @@ mod tests {
         for id in ["fig01", "fig07", "fig12", "fig13", "table01"] {
             assert!(EXPERIMENT_IDS.contains(&id));
         }
+    }
+
+    #[test]
+    fn throughput_arms_never_share_a_worker_count() {
+        // Regression: the throughput bench must pin a genuine serial-vs-N
+        // comparison on every host, including 1-CPU CI containers where
+        // `available_parallelism` is 1.
+        for host in [1, 2, 4, 8, 64] {
+            let parallel = throughput::parallel_workers_for(host);
+            assert!(
+                parallel > throughput::SERIAL_WORKERS,
+                "host {host}: both bench arms would run {parallel} workers"
+            );
+        }
+        assert!(throughput::parallel_workers() >= 4);
+        assert!(throughput::parallel_workers() > throughput::SERIAL_WORKERS);
+    }
+
+    #[test]
+    fn bench_samples_defaults_when_env_is_unset_or_bad() {
+        // Only the default path is testable here (tests run in parallel and
+        // must not mutate the process environment).
+        assert!(bench_samples(3) >= 1);
     }
 }

@@ -30,7 +30,9 @@ impl ExperimentContext {
     /// Creates a context that generates traces with `generator`.
     pub fn new(generator: GeneratorConfig) -> Self {
         ExperimentContext {
-            engine: SweepEngine::new(generator),
+            engine: SweepEngine::builder(generator)
+                .build()
+                .expect("building without a disk store cannot fail"),
         }
     }
 

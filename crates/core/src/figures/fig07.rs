@@ -35,9 +35,9 @@ pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure7 {
     // assembly below reads the warm cache.
     let designs = [
         DesignPoint::baseline(),
-        DesignPoint::naive_shared(2),
-        DesignPoint::naive_shared(4),
-        DesignPoint::naive_shared(8),
+        DesignPoint::naive_shared(2).expect("figure cpc is valid"),
+        DesignPoint::naive_shared(4).expect("figure cpc is valid"),
+        DesignPoint::naive_shared(8).expect("figure cpc is valid"),
     ];
     ctx.sweep(benchmarks, &designs);
     let rows = benchmarks
@@ -45,7 +45,10 @@ pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure7 {
         .map(|&b| {
             let baseline = ctx.simulate(b, &DesignPoint::baseline());
             let norm = |cpc: usize| {
-                let r = ctx.simulate(b, &DesignPoint::naive_shared(cpc));
+                let r = ctx.simulate(
+                    b,
+                    &DesignPoint::naive_shared(cpc).expect("figure cpc is valid"),
+                );
                 r.cycles as f64 / baseline.cycles as f64
             };
             Figure7Row {

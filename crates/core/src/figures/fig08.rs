@@ -57,13 +57,19 @@ pub struct Figure8 {
 pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure8 {
     ctx.sweep(
         benchmarks,
-        &[DesignPoint::baseline(), DesignPoint::naive_shared(8)],
+        &[
+            DesignPoint::baseline(),
+            DesignPoint::naive_shared(8).expect("figure cpc is valid"),
+        ],
     );
     let rows = benchmarks
         .iter()
         .map(|&b| {
             let baseline = ctx.simulate(b, &DesignPoint::baseline());
-            let shared = ctx.simulate(b, &DesignPoint::naive_shared(8));
+            let shared = ctx.simulate(
+                b,
+                &DesignPoint::naive_shared(8).expect("figure cpc is valid"),
+            );
             let base_cycles = baseline.cycles as f64;
 
             let base_stack = baseline.worker_cpi_stack();

@@ -31,14 +31,20 @@ pub struct Figure9 {
 pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure9 {
     let designs: Vec<DesignPoint> = [2, 4, 8]
         .iter()
-        .map(|&n| DesignPoint::baseline().with_line_buffers(n))
+        .map(|&n| {
+            DesignPoint::baseline()
+                .with_line_buffers(n)
+                .expect("figure line-buffer count is valid")
+        })
         .collect();
     ctx.sweep(benchmarks, &designs);
     let rows = benchmarks
         .iter()
         .map(|&b| {
             let ratio = |n: usize| {
-                let design = DesignPoint::baseline().with_line_buffers(n);
+                let design = DesignPoint::baseline()
+                    .with_line_buffers(n)
+                    .expect("figure line-buffer count is valid");
                 let r = ctx.simulate(b, &design);
                 r.worker_access_ratio() * 100.0
             };

@@ -33,9 +33,9 @@ pub struct Figure10 {
 pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure10 {
     let designs = [
         DesignPoint::baseline(),
-        DesignPoint::shared(16, 4, BusWidth::Single),
-        DesignPoint::shared(16, 8, BusWidth::Single),
-        DesignPoint::shared(16, 4, BusWidth::Double),
+        DesignPoint::shared(16, 4, BusWidth::Single).expect("figure design is valid"),
+        DesignPoint::shared(16, 8, BusWidth::Single).expect("figure design is valid"),
+        DesignPoint::shared(16, 4, BusWidth::Double).expect("figure design is valid"),
     ];
     ctx.sweep(benchmarks, &designs);
     let rows = benchmarks
@@ -47,9 +47,15 @@ pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure10 {
             };
             Figure10Row {
                 benchmark: b,
-                naive_4lb_single: norm(&DesignPoint::shared(16, 4, BusWidth::Single)),
-                more_buffers_8lb_single: norm(&DesignPoint::shared(16, 8, BusWidth::Single)),
-                more_bandwidth_4lb_double: norm(&DesignPoint::shared(16, 4, BusWidth::Double)),
+                naive_4lb_single: norm(
+                    &DesignPoint::shared(16, 4, BusWidth::Single).expect("figure design is valid"),
+                ),
+                more_buffers_8lb_single: norm(
+                    &DesignPoint::shared(16, 8, BusWidth::Single).expect("figure design is valid"),
+                ),
+                more_bandwidth_4lb_double: norm(
+                    &DesignPoint::shared(16, 4, BusWidth::Double).expect("figure design is valid"),
+                ),
             }
         })
         .collect();

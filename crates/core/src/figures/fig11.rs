@@ -35,16 +35,22 @@ pub struct Figure11 {
 pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure11 {
     let designs = [
         DesignPoint::baseline(),
-        DesignPoint::shared(32, 4, BusWidth::Double),
-        DesignPoint::shared(16, 4, BusWidth::Double),
+        DesignPoint::shared(32, 4, BusWidth::Double).expect("figure design is valid"),
+        DesignPoint::shared(16, 4, BusWidth::Double).expect("figure design is valid"),
     ];
     ctx.sweep(benchmarks, &designs);
     let rows = benchmarks
         .iter()
         .map(|&b| {
             let private = ctx.simulate(b, &DesignPoint::baseline());
-            let shared32 = ctx.simulate(b, &DesignPoint::shared(32, 4, BusWidth::Double));
-            let shared16 = ctx.simulate(b, &DesignPoint::shared(16, 4, BusWidth::Double));
+            let shared32 = ctx.simulate(
+                b,
+                &DesignPoint::shared(32, 4, BusWidth::Double).expect("figure design is valid"),
+            );
+            let shared16 = ctx.simulate(
+                b,
+                &DesignPoint::shared(16, 4, BusWidth::Double).expect("figure design is valid"),
+            );
             let base = private.worker_icache_mpki();
             let percent = |mpki: f64| {
                 if base <= 0.0 {

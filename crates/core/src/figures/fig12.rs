@@ -50,10 +50,10 @@ fn activity(result: &SimResult) -> ClusterActivity {
 pub fn compute(ctx: &ExperimentContext, benchmarks: &[Benchmark]) -> Figure12 {
     let designs = [
         DesignPoint::baseline(),
-        DesignPoint::shared(16, 4, BusWidth::Single),
-        DesignPoint::shared(16, 4, BusWidth::Double),
-        DesignPoint::shared(16, 8, BusWidth::Single),
-        DesignPoint::shared(16, 8, BusWidth::Double),
+        DesignPoint::shared(16, 4, BusWidth::Single).expect("figure design is valid"),
+        DesignPoint::shared(16, 4, BusWidth::Double).expect("figure design is valid"),
+        DesignPoint::shared(16, 8, BusWidth::Single).expect("figure design is valid"),
+        DesignPoint::shared(16, 8, BusWidth::Double).expect("figure design is valid"),
     ];
     // One engine-level fan-out over the whole 5-design grid; the per-design
     // loop below then reads the warm cache.

@@ -50,7 +50,7 @@ pub mod report;
 // design points without depending on this crate); re-exported here so
 // downstream code keeps using `shared_icache::DesignPoint`.
 pub use acmp_sweep::design_point;
-pub use acmp_sweep::DesignPoint;
+pub use acmp_sweep::{DesignPoint, DesignPointError};
 pub use experiment::ExperimentContext;
 pub use report::{arithmetic_mean, geometric_mean, TextTable};
 

@@ -5,9 +5,9 @@ use crate::memory::{build_units, unit_of_core, IcacheUnit, InFlightRequest, Requ
 use crate::runtime::SyncRuntime;
 use crate::stats::{CoreReport, SimResult};
 use sim_cache::CacheStats;
-use sim_core::{Core, StallKind, StallReason};
+use sim_core::{Core, CycleOutput, Park, StallKind, StallReason};
 use sim_interconnect::BusStats;
-use sim_trace::TraceSet;
+use sim_trace::{SharedTraceCursor, ThreadId, TraceSet};
 use std::error::Error;
 use std::fmt;
 
@@ -48,6 +48,24 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
+/// A core taken off the cycle loop by the idle-skip scheduler.
+///
+/// The core is only parked when ticking it would change nothing observable
+/// (see [`Core::park_state`]) *and* its stall attribution is frozen — which
+/// requires that none of its in-flight requests is still waiting for a bus
+/// grant, since a grant would move the stall from congestion to latency.
+/// The skipped cycles' statistics are replayed in O(1) when it wakes.
+#[derive(Debug, Clone, Copy)]
+struct ParkedCore {
+    /// First cycle that has not been simulated for this core.
+    since: u64,
+    /// Stall bucket each skipped cycle would have recorded.
+    kind: StallKind,
+    /// `Some(c)` when the core wakes by itself at cycle `c` (resteer
+    /// penalty); `None` when only a delivery or an unblock can wake it.
+    wake_at: Option<u64>,
+}
+
 /// A fully assembled ACMP ready to simulate one benchmark run.
 pub struct Machine {
     config: AcmpConfig,
@@ -57,6 +75,19 @@ pub struct Machine {
     core_unit: Vec<usize>,
     runtime: SyncRuntime,
     in_flight: Vec<InFlightRequest>,
+    /// Earliest `ready` among deliverable (granted) in-flight requests;
+    /// `u64::MAX` when there is none.  Lets the per-cycle delivery scan be
+    /// skipped on the many cycles where nothing can complete.
+    ready_min: u64,
+    /// Idle-skip scheduler state, one slot per core.
+    parked: Vec<Option<ParkedCore>>,
+    /// When `false`, every core is ticked every cycle (the reference
+    /// schedule).  Results are identical either way; the flag exists so
+    /// tests can prove it.
+    idle_skip: bool,
+    /// Reused per-cycle buffers (hot path: no allocation per cycle).
+    cycle_out: CycleOutput,
+    delivery_scratch: Vec<(usize, u64)>,
 }
 
 impl fmt::Debug for Machine {
@@ -91,9 +122,41 @@ impl Machine {
                 Core::new(i, core_cfg, Box::new(t.clone().into_source()))
             })
             .collect();
+        Machine::from_cores(config, cores)
+    }
+
+    /// Builds the machine with every core reading its thread's records
+    /// through a shared, reference-counted trace set.
+    ///
+    /// Identical in behaviour to [`Machine::new`], but the per-thread record
+    /// vectors are not cloned — a sweep running many design points against
+    /// the same traces pays one `Arc` bump per core instead of copying each
+    /// trace per machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_shared_traces(config: AcmpConfig, traces: std::sync::Arc<TraceSet>) -> Self {
+        config.validate();
+        let cores: Vec<Core> = (0..traces.num_threads())
+            .map(|i| {
+                let core_cfg = if i == 0 {
+                    config.master_core
+                } else {
+                    config.worker_core
+                };
+                let cursor = SharedTraceCursor::new(traces.clone(), ThreadId(i));
+                Core::new(i, core_cfg, Box::new(cursor))
+            })
+            .collect();
+        Machine::from_cores(config, cores)
+    }
+
+    fn from_cores(config: AcmpConfig, cores: Vec<Core>) -> Self {
         let units = build_units(&config);
         let core_unit = unit_of_core(&units, config.num_cores());
         let runtime = SyncRuntime::new(config.num_cores());
+        let num_cores = cores.len();
         Machine {
             config,
             cores,
@@ -101,7 +164,22 @@ impl Machine {
             core_unit,
             runtime,
             in_flight: Vec::new(),
+            ready_min: u64::MAX,
+            parked: vec![None; num_cores],
+            idle_skip: true,
+            cycle_out: CycleOutput::default(),
+            delivery_scratch: Vec::new(),
         }
+    }
+
+    /// Enables or disables the idle-skip scheduler (enabled by default).
+    ///
+    /// Disabling it makes the machine tick every core every cycle, the
+    /// straightforward reference schedule.  Simulation results are bit-for-
+    /// bit identical in both modes; the switch exists so tests can assert
+    /// that equivalence.
+    pub fn set_idle_skip(&mut self, enabled: bool) {
+        self.idle_skip = enabled;
     }
 
     /// The configuration being simulated.
@@ -151,9 +229,119 @@ impl Machine {
                 serial_cycles += 1;
             }
             cycle += 1;
+
+            // Global time jump: when every unfinished core is parked no
+            // grants, deliveries, events or stat changes (beyond the frozen
+            // per-cycle attributions replayed at unpark) can occur until the
+            // earliest delivery or self-wake, so skip straight there.
+            if self.idle_skip {
+                if let Some(wake) = self.next_global_wake(cycle) {
+                    debug_assert!(wake > cycle);
+                    let span = wake - cycle;
+                    // The runtime cannot change while no core runs, so the
+                    // serial/parallel classification is constant over the
+                    // span.
+                    if self.runtime.in_parallel_region() {
+                        parallel_cycles += span;
+                    } else {
+                        serial_cycles += span;
+                    }
+                    // Catch up fill retirement for the skipped cycles: a
+                    // submission at `wake` consults `pending_fills` before
+                    // the units tick, so fills that would have retired
+                    // earlier must be gone by then.
+                    for unit in &mut self.units {
+                        unit.retire_fills_through(wake - 1);
+                    }
+                    cycle = wake;
+                }
+            }
         }
 
         Ok(self.collect(cycle, serial_cycles, parallel_cycles))
+    }
+
+    /// Returns the cycle to jump to when every unfinished core is parked,
+    /// or `None` when the machine must keep ticking cycle by cycle.
+    fn next_global_wake(&self, cycle: u64) -> Option<u64> {
+        let mut any_unfinished = false;
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.is_finished() {
+                continue;
+            }
+            any_unfinished = true;
+            // An unfinished core that is not parked blocks the jump.
+            self.parked[i]?;
+        }
+        if !any_unfinished {
+            return None;
+        }
+        // A request still waiting for its bus grant could be granted any
+        // cycle (and change stall attribution); parked cores never hold one
+        // (see `can_park`), but be defensive.
+        if self
+            .in_flight
+            .iter()
+            .any(|r| r.phase == RequestPhase::WaitingGrant)
+        {
+            return None;
+        }
+        let mut wake: Option<u64> = None;
+        let mut consider = |c: u64| {
+            wake = Some(match wake {
+                Some(w) => w.min(c),
+                None => c,
+            });
+        };
+        for req in &self.in_flight {
+            consider(req.ready);
+        }
+        for p in self.parked.iter().flatten() {
+            if let Some(w) = p.wake_at {
+                consider(w);
+            }
+        }
+        // No wake source at all: the machine is deadlocked; jump to the
+        // cycle limit so `run` reports the same error as the reference
+        // schedule, without spinning until then.
+        let wake = wake
+            .unwrap_or(self.config.max_cycles)
+            .min(self.config.max_cycles)
+            .max(cycle);
+        (wake > cycle).then_some(wake)
+    }
+
+    /// Wakes a parked core, replaying the statistics of the cycles it
+    /// skipped.  `resume` is the first cycle the core will actually execute
+    /// again; the parked span therefore covers `since .. resume`.
+    fn unpark(&mut self, core: usize, resume: u64) {
+        if let Some(p) = self.parked[core].take() {
+            let span = resume.saturating_sub(p.since);
+            if span > 0 {
+                self.cores[core].cpi_mut().record_stall_n(p.kind, span);
+                self.cores[core].apply_parked_cycles(span);
+            }
+        }
+    }
+
+    /// Releases `core` from a synchronisation wait during `current`'s slot
+    /// of `cycle`.  A core earlier in the order already had its slot this
+    /// cycle (its last blocked cycle is `cycle` itself), while a later core
+    /// will still run this cycle as released — exactly as in the reference
+    /// schedule, where the unblock lands between their slots.
+    fn release(&mut self, core: usize, current: usize, cycle: u64) {
+        let resume = if core < current { cycle + 1 } else { cycle };
+        self.unpark(core, resume);
+        self.cores[core].unblock();
+    }
+
+    /// Whether core `i`'s stall attribution is frozen (no request of its
+    /// still waiting for a bus grant), making it safe to park.
+    fn can_park(&self, core: usize) -> bool {
+        !self
+            .in_flight
+            .iter()
+            .any(|r| r.core == core && r.phase == RequestPhase::WaitingGrant)
     }
 
     fn all_finished(&self) -> bool {
@@ -162,18 +350,31 @@ impl Machine {
 
     /// Simulates one machine cycle.
     fn step(&mut self, cycle: u64) {
-        // 1. Deliver lines whose requests completed.
-        let mut delivered = Vec::new();
-        self.in_flight.retain(|req| {
-            if req.phase != RequestPhase::WaitingGrant && req.ready <= cycle {
-                delivered.push((req.core, req.line));
-                false
-            } else {
-                true
+        // 1. Deliver lines whose requests completed.  A delivery wakes the
+        //    receiving core for this very cycle (its parked span, if any,
+        //    ends at `cycle - 1`).  When no granted request can be ready yet
+        //    the scan would remove nothing, so it is skipped outright.
+        if self.ready_min <= cycle {
+            let mut delivered = std::mem::take(&mut self.delivery_scratch);
+            delivered.clear();
+            let mut remaining_min = u64::MAX;
+            self.in_flight.retain(|req| {
+                if req.phase == RequestPhase::WaitingGrant {
+                    true
+                } else if req.ready <= cycle {
+                    delivered.push((req.core, req.line));
+                    false
+                } else {
+                    remaining_min = remaining_min.min(req.ready);
+                    true
+                }
+            });
+            self.ready_min = remaining_min;
+            for (core, line) in delivered.drain(..) {
+                self.unpark(core, cycle);
+                self.cores[core].deliver_line(line, cycle);
             }
-        });
-        for (core, line) in delivered {
-            self.cores[core].deliver_line(line, cycle);
+            self.delivery_scratch = delivered;
         }
 
         // 2. Advance every core by one cycle.
@@ -181,36 +382,76 @@ impl Machine {
             if self.cores[i].is_finished() {
                 continue;
             }
-            let out = self.cores[i].cycle(cycle);
+            match self.parked[i] {
+                Some(ParkedCore {
+                    wake_at: Some(w), ..
+                }) if w <= cycle => self.unpark(i, cycle),
+                Some(_) => continue,
+                None => {}
+            }
+            // `cycle_out` and `cores` are disjoint fields, so the output
+            // buffer can be lent directly without a take/put round-trip.
+            let out = &mut self.cycle_out;
+            self.cores[i].cycle_into(cycle, out);
 
-            for line in &out.fetch_requests {
+            for line in &self.cycle_out.fetch_requests {
                 let unit = self.core_unit[i];
                 let req = self.units[unit].submit(cycle, i, *line);
+                if req.phase != RequestPhase::WaitingGrant {
+                    self.ready_min = self.ready_min.min(req.ready);
+                }
                 self.in_flight.push(req);
             }
+            let sync_event = self.cycle_out.sync_event;
+            let finished_now = self.cycle_out.finished_now;
+            let stall = self.cycle_out.stall;
 
-            if let Some(event) = out.sync_event {
+            if let Some(event) = sync_event {
                 let decision = self.runtime.handle_event(i, event);
                 for core in decision.release {
-                    self.cores[core].unblock();
+                    self.release(core, i, cycle);
                 }
             }
-            if out.finished_now {
+            if finished_now {
                 let decision = self.runtime.core_finished(i);
                 for core in decision.release {
-                    self.cores[core].unblock();
+                    self.release(core, i, cycle);
                 }
             }
 
-            if let Some(reason) = out.stall {
+            if let Some(reason) = stall {
                 let kind = self.attribute_stall(i, reason);
                 self.cores[i].cpi_mut().record_stall(kind);
+
+                // The core committed nothing; ask it whether ticking it
+                // again before the next external event could matter.
+                if self.idle_skip {
+                    let park = match self.cores[i].park_state(cycle) {
+                        Park::Active => None,
+                        // A wake one cycle ahead is just "active".
+                        Park::Until(w) if w <= cycle + 1 => None,
+                        Park::Until(w) => Some(Some(w)),
+                        Park::Waiting => Some(None),
+                    };
+                    if let Some(wake_at) = park {
+                        if self.can_park(i) {
+                            self.parked[i] = Some(ParkedCore {
+                                since: cycle + 1,
+                                kind,
+                                wake_at,
+                            });
+                        }
+                    }
+                }
             }
         }
 
         // 3. Advance the memory system: bus grants and cache accesses.
         for unit in &mut self.units {
             for update in unit.tick(cycle) {
+                if update.phase != RequestPhase::WaitingGrant {
+                    self.ready_min = self.ready_min.min(update.ready);
+                }
                 // Replace the matching waiting-grant entry with the resolved
                 // timing.
                 if let Some(req) = self.in_flight.iter_mut().find(|r| {
@@ -464,6 +705,118 @@ mod tests {
             worker_sync > 0,
             "workers should block while the master runs serial code"
         );
+    }
+
+    #[test]
+    fn idle_skip_matches_the_reference_schedule() {
+        // The idle-skip scheduler must be a pure optimisation: every
+        // statistic bit-for-bit identical to ticking all cores every cycle,
+        // across private, shared-single-bus and shared-double-bus machines.
+        let configs = [
+            AcmpConfig::baseline(2),
+            AcmpConfig::worker_shared(4, 4).with_worker_icache_size(16 * 1024),
+            AcmpConfig::worker_shared(2, 2).with_bus_width(BusWidth::Double),
+        ];
+        for config in configs {
+            let set = traces(Benchmark::Lu, config.num_cores() - 1, 6_000);
+            let mut reference = Machine::new(config, &set);
+            reference.set_idle_skip(false);
+            let reference = reference.run().expect("reference completes");
+            let skipped = run(config, &set);
+            assert_eq!(reference, skipped, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn tied_wake_cycles_jump_to_the_tie_and_replay_each_span() {
+        // Two cores whose self-wakes land on the same cycle: the global jump
+        // must stop exactly at the tie (not past it), and unparking must
+        // replay each core's own skipped span into its stall bucket.
+        let set = traces(Benchmark::Cg, 1, 1_000);
+        let mut m = Machine::new(AcmpConfig::baseline(1), &set);
+        m.parked[0] = Some(ParkedCore {
+            since: 10,
+            kind: StallKind::BranchMiss,
+            wake_at: Some(40),
+        });
+        m.parked[1] = Some(ParkedCore {
+            since: 25,
+            kind: StallKind::IcacheLatency,
+            wake_at: Some(40),
+        });
+        assert_eq!(m.next_global_wake(30), Some(40));
+
+        m.unpark(0, 40);
+        m.unpark(1, 40);
+        assert_eq!(m.cores[0].cpi().branch_miss, 30, "core 0 skipped 10..40");
+        assert_eq!(m.cores[1].cpi().icache_latency, 15, "core 1 skipped 25..40");
+        assert!(m.parked.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn earliest_of_competing_wake_sources_wins() {
+        // A parked core's self-wake competes with an in-flight delivery; the
+        // jump must go to whichever is earliest, never past a wake source.
+        let set = traces(Benchmark::Cg, 1, 1_000);
+        let mut m = Machine::new(AcmpConfig::baseline(1), &set);
+        m.parked[0] = Some(ParkedCore {
+            since: 10,
+            kind: StallKind::Sync,
+            wake_at: Some(50),
+        });
+        m.parked[1] = Some(ParkedCore {
+            since: 10,
+            kind: StallKind::IcacheLatency,
+            wake_at: Some(20),
+        });
+        assert_eq!(m.next_global_wake(10), Some(20));
+        // A core with no self-wake (delivery- or unblock-only) contributes
+        // nothing; the remaining self-wake bounds the jump.
+        m.parked[1].as_mut().unwrap().wake_at = None;
+        assert_eq!(m.next_global_wake(10), Some(50));
+    }
+
+    #[test]
+    fn zero_latency_wakes_never_jump_or_record_stalls() {
+        // A wake due *now* (a zero-latency event) must not produce a jump —
+        // `next_global_wake` only ever moves time forward — and unparking a
+        // core on the cycle it was parked replays a zero-cycle span.
+        let set = traces(Benchmark::Cg, 1, 1_000);
+        let mut m = Machine::new(AcmpConfig::baseline(1), &set);
+        m.parked[0] = Some(ParkedCore {
+            since: 10,
+            kind: StallKind::Sync,
+            wake_at: Some(10),
+        });
+        m.parked[1] = Some(ParkedCore {
+            since: 10,
+            kind: StallKind::Other,
+            wake_at: Some(10),
+        });
+        assert_eq!(m.next_global_wake(10), None, "a due wake cannot jump");
+
+        let sync_before = m.cores[0].cpi().sync;
+        m.unpark(0, 10);
+        assert_eq!(
+            m.cores[0].cpi().sync,
+            sync_before,
+            "zero-span unpark must record no stall cycles"
+        );
+        assert!(m.parked[0].is_none());
+    }
+
+    #[test]
+    fn an_unparked_core_blocks_the_global_jump() {
+        // While any unfinished core is still running, the machine must keep
+        // ticking cycle by cycle regardless of other cores' wake times.
+        let set = traces(Benchmark::Cg, 1, 1_000);
+        let mut m = Machine::new(AcmpConfig::baseline(1), &set);
+        m.parked[0] = Some(ParkedCore {
+            since: 10,
+            kind: StallKind::Sync,
+            wake_at: Some(99),
+        });
+        assert_eq!(m.next_global_wake(10), None);
     }
 
     #[test]

@@ -10,7 +10,6 @@
 use crate::config::{AcmpConfig, SharingMode};
 use sim_cache::{AccessOutcome, BankedCache, CacheStats, L2Cache, Mshr, MshrAllocation};
 use sim_interconnect::{BusStats, IcacheInterconnect};
-use std::collections::HashMap;
 
 /// Where an in-flight request currently is (used for stall attribution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +54,12 @@ pub struct IcacheUnit {
     /// `None` for private units (the single core reaches the cache
     /// directly).
     interconnect: Option<IcacheInterconnect>,
-    /// Completion cycle of the outstanding L2 fill for each line.
-    pending_fills: HashMap<u64, u64>,
+    /// `(line, completion cycle)` of each outstanding L2 fill.  Bounded by
+    /// the MSHR capacity, so a linear scan beats hashing.
+    pending_fills: Vec<(u64, u64)>,
+    /// Earliest completion cycle in `pending_fills` (`u64::MAX` when empty);
+    /// lets `tick`/`retire_fills_through` skip the scan entirely.
+    fills_min: u64,
 }
 
 impl IcacheUnit {
@@ -92,7 +95,8 @@ impl IcacheUnit {
             mshr: Mshr::new(8),
             l2: L2Cache::new(config.l2),
             interconnect,
-            pending_fills: HashMap::new(),
+            pending_fills: Vec::new(),
+            fills_min: u64::MAX,
         }
     }
 
@@ -167,21 +171,40 @@ impl IcacheUnit {
         }
     }
 
+    /// Retires completed L2 fills up to and including `cycle`, freeing their
+    /// MSHR entries.  This is exactly the retirement half of
+    /// [`IcacheUnit::tick`]; it is idempotent, so the idle-skip scheduler
+    /// calls it to catch up over skipped cycles before the machine resumes
+    /// (a fill must be retired before a same-cycle submission re-misses on
+    /// its line).
+    pub fn retire_fills_through(&mut self, cycle: u64) {
+        if self.fills_min > cycle {
+            return;
+        }
+        let mut remaining_min = u64::MAX;
+        let mshr = &mut self.mshr;
+        self.pending_fills.retain(|&(line, ready)| {
+            if ready <= cycle {
+                mshr.retire(line);
+                false
+            } else {
+                remaining_min = remaining_min.min(ready);
+                true
+            }
+        });
+        self.fills_min = remaining_min;
+    }
+
     /// Advances the unit by one cycle: completes L2 fills and grants bus
     /// transactions.  Returns `(core, line, ready, phase)` updates for
     /// requests that left the `WaitingGrant` phase this cycle.
     pub fn tick(&mut self, cycle: u64) -> Vec<InFlightRequest> {
-        // Retire completed fills so the MSHR frees its entries.
-        let done: Vec<u64> = self
-            .pending_fills
-            .iter()
-            .filter(|(_, ready)| **ready <= cycle)
-            .map(|(line, _)| *line)
-            .collect();
-        for line in done {
-            self.pending_fills.remove(&line);
-            self.mshr.complete(line);
+        // Private units with no fill completing yet have nothing to do
+        // (`Vec::new` does not allocate).
+        if self.fills_min > cycle && self.interconnect.is_none() {
+            return Vec::new();
         }
+        self.retire_fills_through(cycle);
 
         let mut updates = Vec::new();
         let grants = match &mut self.interconnect {
@@ -220,7 +243,7 @@ impl IcacheUnit {
         // A fill already in flight for this line (requested by another core
         // of the group): piggyback on it instead of accessing again — this
         // is the MSHR-level expression of cross-thread prefetching.
-        if let Some(&fill_ready) = self.pending_fills.get(&line) {
+        if let Some(&(_, fill_ready)) = self.pending_fills.iter().find(|&&(l, _)| l == line) {
             let local = self.local_index(core);
             let _ = self.mshr.allocate(line, local);
             let ready = fill_ready.max(cycle + transfer_cycles);
@@ -238,7 +261,8 @@ impl IcacheUnit {
                 let ready = cycle + transfer_cycles + self.cache.latency() + fill_latency;
                 match self.mshr.allocate(line, local) {
                     MshrAllocation::NewEntry | MshrAllocation::Full => {
-                        self.pending_fills.insert(line, ready);
+                        self.pending_fills.push((line, ready));
+                        self.fills_min = self.fills_min.min(ready);
                     }
                     MshrAllocation::Merged => {}
                 }

@@ -9,7 +9,6 @@
 //! tRP + tRCD + CL.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// DRAM timing and organisation parameters (in CPU cycles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,7 +66,8 @@ pub struct DramStats {
 #[derive(Debug)]
 pub struct Dram {
     config: DramConfig,
-    open_rows: HashMap<u64, u64>,
+    /// Open row per bank, indexed by bank number.
+    open_rows: Vec<Option<u64>>,
     stats: DramStats,
 }
 
@@ -76,7 +76,7 @@ impl Dram {
     pub fn new(config: DramConfig) -> Self {
         Dram {
             config,
-            open_rows: HashMap::new(),
+            open_rows: vec![None; config.num_banks as usize],
             stats: DramStats::default(),
         }
     }
@@ -96,8 +96,8 @@ impl Dram {
     pub fn access(&mut self, addr: u64) -> u64 {
         self.stats.accesses += 1;
         let row = addr / self.config.row_size;
-        let bank = row % self.config.num_banks;
-        let open = self.open_rows.insert(bank, row);
+        let bank = (row % self.config.num_banks) as usize;
+        let open = self.open_rows[bank].replace(row);
         let row_hit = open == Some(row);
         if row_hit {
             self.stats.row_hits += 1;

@@ -1,0 +1,103 @@
+//! Deterministic, allocation-free hashing for simulator-internal maps.
+//!
+//! The simulator's hash maps are keyed by line addresses and small indices,
+//! with populations in the tens to thousands.  The standard library's SipHash
+//! is both randomly seeded (which would make iteration order — and therefore
+//! any code accidentally depending on it — nondeterministic across runs) and
+//! needlessly slow for integer keys on the cycle-loop hot path.  This module
+//! provides a fixed-seed multiply-shift hasher in the Fibonacci-hashing
+//! family: one multiplication and one shift per `u64` key, identical output
+//! on every run and platform.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for integer keys (deterministic, fixed seed).
+///
+/// `write_u64`/`write_usize` mix the key with a single multiplication by a
+/// 64-bit odd constant (2^64 / φ) followed by an xor-shift, which is enough
+/// to spread line addresses (always multiples of the line size) across
+/// buckets.  The byte-slice fallback is an FNV-1a loop so arbitrary keys
+/// still hash correctly, just not as fast.
+#[derive(Debug, Default, Clone)]
+pub struct LineHasher(u64);
+
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        let h = (x ^ self.0).wrapping_mul(PHI);
+        self.0 = h ^ (h >> 29);
+    }
+
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+}
+
+/// `BuildHasher` for [`LineHasher`]; use as the `S` parameter of
+/// `HashMap`/`HashSet` keyed by integers.
+pub type LineHashBuilder = BuildHasherDefault<LineHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn hash_u64(x: u64) -> u64 {
+        let mut h = LineHasher::default();
+        h.write_u64(x);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_u64(0x1000), hash_u64(0x1000));
+        assert_ne!(hash_u64(0x1000), hash_u64(0x1040));
+    }
+
+    #[test]
+    fn line_addresses_spread_across_low_bits() {
+        // Line addresses are multiples of 64; a weak hash would leave the
+        // low bits constant and collapse every key into one bucket.
+        let buckets: HashSet<u64> = (0..1024u64).map(|i| hash_u64(i * 64) % 256).collect();
+        assert!(buckets.len() > 128, "only {} buckets hit", buckets.len());
+    }
+
+    #[test]
+    fn usable_as_map_hasher() {
+        let mut set: HashSet<u64, LineHashBuilder> = HashSet::default();
+        for i in 0..100 {
+            set.insert(i * 64);
+        }
+        assert_eq!(set.len(), 100);
+        assert!(set.contains(&640));
+        assert!(!set.contains(&641));
+    }
+
+    #[test]
+    fn byte_slice_fallback_distinguishes_inputs() {
+        let mut a = LineHasher::default();
+        a.write(b"hello");
+        let mut b = LineHasher::default();
+        b.write(b"world");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -35,6 +35,7 @@
 pub mod banked;
 pub mod config;
 pub mod dram;
+pub mod hashing;
 pub mod l2;
 pub mod mshr;
 pub mod replacement;
@@ -44,6 +45,7 @@ pub mod stats;
 pub use banked::BankedCache;
 pub use config::CacheConfig;
 pub use dram::{Dram, DramConfig};
+pub use hashing::{LineHashBuilder, LineHasher};
 pub use l2::{L2Cache, L2Config};
 pub use mshr::{Mshr, MshrAllocation};
 pub use replacement::{FifoPolicy, LruPolicy, PseudoLruPolicy, ReplacementPolicy};

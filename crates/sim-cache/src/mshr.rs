@@ -9,7 +9,6 @@
 //! core's would-be cold miss into a hit).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Identifier of a requester (core index within the sharing group).
 pub type RequesterId = usize;
@@ -40,14 +39,21 @@ pub struct MshrStats {
 
 #[derive(Debug)]
 struct Entry {
+    line: u64,
     waiters: Vec<RequesterId>,
 }
 
 /// A file of miss-status holding registers keyed by line address.
+///
+/// The file is tiny (typically 8 entries), so it is stored as a flat vector
+/// scanned linearly — no hashing, and with [`Mshr::retire`] no allocation in
+/// steady state either: waiter vectors are recycled through a small pool.
 #[derive(Debug)]
 pub struct Mshr {
     capacity: usize,
-    entries: HashMap<u64, Entry>,
+    entries: Vec<Entry>,
+    /// Recycled waiter vectors, so steady-state misses do not allocate.
+    waiter_pool: Vec<Vec<RequesterId>>,
     stats: MshrStats,
 }
 
@@ -62,7 +68,8 @@ impl Mshr {
         assert!(capacity > 0, "MSHR capacity must be positive");
         Mshr {
             capacity,
-            entries: HashMap::new(),
+            entries: Vec::with_capacity(capacity),
+            waiter_pool: Vec::with_capacity(capacity),
             stats: MshrStats::default(),
         }
     }
@@ -74,7 +81,7 @@ impl Mshr {
 
     /// Returns `true` if there is an in-flight fill for `line_addr`.
     pub fn is_pending(&self, line_addr: u64) -> bool {
-        self.entries.contains_key(&line_addr)
+        self.entries.iter().any(|e| e.line == line_addr)
     }
 
     /// Accumulated statistics.
@@ -84,7 +91,7 @@ impl Mshr {
 
     /// Registers a miss for `line_addr` on behalf of `requester`.
     pub fn allocate(&mut self, line_addr: u64, requester: RequesterId) -> MshrAllocation {
-        if let Some(entry) = self.entries.get_mut(&line_addr) {
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.line == line_addr) {
             entry.waiters.push(requester);
             self.stats.merged_requests += 1;
             return MshrAllocation::Merged;
@@ -93,12 +100,12 @@ impl Mshr {
             self.stats.full_stalls += 1;
             return MshrAllocation::Full;
         }
-        self.entries.insert(
-            line_addr,
-            Entry {
-                waiters: vec![requester],
-            },
-        );
+        let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+        waiters.push(requester);
+        self.entries.push(Entry {
+            line: line_addr,
+            waiters,
+        });
         self.stats.fills_issued += 1;
         MshrAllocation::NewEntry
     }
@@ -109,10 +116,23 @@ impl Mshr {
     /// Returns an empty vector if no entry existed (e.g. the fill was for a
     /// prefetch that was cancelled).
     pub fn complete(&mut self, line_addr: u64) -> Vec<RequesterId> {
-        self.entries
-            .remove(&line_addr)
-            .map(|e| e.waiters)
-            .unwrap_or_default()
+        match self.entries.iter().position(|e| e.line == line_addr) {
+            Some(idx) => self.entries.swap_remove(idx).waiters,
+            None => Vec::new(),
+        }
+    }
+
+    /// Completes the fill for `line_addr`, discarding the waiter list.
+    ///
+    /// Equivalent to [`Mshr::complete`] for callers that track waiters
+    /// themselves, but recycles the entry's waiter vector instead of handing
+    /// it out, so it never allocates.
+    pub fn retire(&mut self, line_addr: u64) {
+        if let Some(idx) = self.entries.iter().position(|e| e.line == line_addr) {
+            let mut entry = self.entries.swap_remove(idx);
+            entry.waiters.clear();
+            self.waiter_pool.push(entry.waiters);
+        }
     }
 }
 

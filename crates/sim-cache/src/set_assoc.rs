@@ -1,6 +1,7 @@
 //! Set-associative cache model.
 
 use crate::config::CacheConfig;
+use crate::hashing::LineHashBuilder;
 use crate::replacement::{LruPolicy, ReplacementPolicy};
 use crate::stats::CacheStats;
 use std::collections::HashSet;
@@ -36,25 +37,26 @@ impl AccessOutcome {
     }
 }
 
-#[derive(Debug)]
-struct CacheSet {
-    /// `tags[way]` is `Some(tag)` when the way holds a valid line.
-    tags: Vec<Option<u64>>,
-    policy: Box<dyn ReplacementPolicy>,
-}
-
 /// A set-associative cache with allocate-on-miss fill policy.
 ///
 /// Addresses passed to [`SetAssocCache::access`] may be arbitrary byte
 /// addresses; they are aligned down to the configured line size internally.
+///
+/// Tags are stored struct-of-arrays style in one flat allocation indexed
+/// `set * associativity + way`, so the hit-path scan touches contiguous
+/// memory instead of chasing one heap pointer per set.
 #[derive(Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<CacheSet>,
+    /// `tags[set * assoc + way]` is `Some(tag)` when the way holds a valid
+    /// line.
+    tags: Vec<Option<u64>>,
+    /// One replacement policy per set.
+    policies: Vec<Box<dyn ReplacementPolicy>>,
     stats: CacheStats,
     /// All line addresses ever referenced, for compulsory-miss
     /// classification.
-    ever_seen: HashSet<u64>,
+    ever_seen: HashSet<u64, LineHashBuilder>,
 }
 
 impl SetAssocCache {
@@ -65,17 +67,14 @@ impl SetAssocCache {
 
     /// Creates a cache with the given replacement policy (cloned per set).
     pub fn with_policy(config: CacheConfig, policy: &dyn ReplacementPolicy) -> Self {
-        let sets = (0..config.num_sets())
-            .map(|_| CacheSet {
-                tags: vec![None; config.associativity as usize],
-                policy: policy.clone_fresh(),
-            })
-            .collect();
+        let num_sets = config.num_sets() as usize;
+        let assoc = config.associativity as usize;
         SetAssocCache {
             config,
-            sets,
+            tags: vec![None; num_sets * assoc],
+            policies: (0..num_sets).map(|_| policy.clone_fresh()).collect(),
             stats: CacheStats::default(),
-            ever_seen: HashSet::new(),
+            ever_seen: HashSet::default(),
         }
     }
 
@@ -104,10 +103,12 @@ impl SetAssocCache {
 
         let set_idx = self.config.set_index(line) as usize;
         let tag = self.config.tag(line);
-        let set = &mut self.sets[set_idx];
+        let assoc = self.config.associativity as usize;
+        let ways = &mut self.tags[set_idx * assoc..(set_idx + 1) * assoc];
+        let policy = &mut self.policies[set_idx];
 
-        if let Some(way) = set.tags.iter().position(|t| *t == Some(tag)) {
-            set.policy.touch(way as u32);
+        if let Some(way) = ways.iter().position(|t| *t == Some(tag)) {
+            policy.touch(way as u32);
             self.stats.hits += 1;
             return AccessOutcome::Hit;
         }
@@ -122,19 +123,19 @@ impl SetAssocCache {
         };
         self.stats.misses += 1;
 
-        let (way, evicted) = match set.tags.iter().position(|t| t.is_none()) {
+        let (way, evicted) = match ways.iter().position(|t| t.is_none()) {
             Some(invalid_way) => (invalid_way as u32, None),
             None => {
-                let victim = set.policy.victim();
-                let old_tag = set.tags[victim as usize].expect("victim way must be valid");
+                let victim = policy.victim();
+                let old_tag = ways[victim as usize].expect("victim way must be valid");
                 let evicted_line =
                     (old_tag * self.config.num_sets() + set_idx as u64) * self.config.line_size;
                 self.stats.evictions += 1;
                 (victim, Some(evicted_line))
             }
         };
-        set.tags[way as usize] = Some(tag);
-        set.policy.touch(way);
+        ways[way as usize] = Some(tag);
+        policy.touch(way);
 
         AccessOutcome::Miss { kind, evicted }
     }
@@ -145,25 +146,23 @@ impl SetAssocCache {
         let line = addr & !(self.config.line_size - 1);
         let set_idx = self.config.set_index(line) as usize;
         let tag = self.config.tag(line);
-        self.sets[set_idx].tags.contains(&Some(tag))
+        let assoc = self.config.associativity as usize;
+        self.tags[set_idx * assoc..(set_idx + 1) * assoc].contains(&Some(tag))
     }
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> u64 {
-        self.sets
-            .iter()
-            .map(|s| s.tags.iter().filter(|t| t.is_some()).count() as u64)
-            .sum()
+        self.tags.iter().filter(|t| t.is_some()).count() as u64
     }
 
     /// Invalidates all lines and clears recency state; statistics and the
     /// compulsory-miss history are preserved.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for t in &mut set.tags {
-                *t = None;
-            }
-            set.policy.reset();
+        for t in &mut self.tags {
+            *t = None;
+        }
+        for policy in &mut self.policies {
+            policy.reset();
         }
     }
 

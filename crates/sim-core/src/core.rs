@@ -5,6 +5,9 @@ use crate::cpi::CpiStack;
 use sim_frontend::{FetchPredictor, Ftq, FtqEntry, LineBufferFile, LineBufferStats, LineLookup};
 use sim_trace::{SyncEvent, TraceRecord, TraceSource};
 
+/// How many candidate lines a lookahead scan examines before truncating.
+const MAX_LOOKAHEAD_LINES: usize = 16;
+
 /// Execution state of a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreState {
@@ -56,6 +59,25 @@ pub struct CycleOutput {
 /// `StallReason` stays the canonical name in signatures.
 pub type StallReasonCompat = StallReason;
 
+/// How the machine scheduler may treat a core over the next cycles.
+///
+/// Returned by [`Core::park_state`] after a cycle in which nothing committed.
+/// "Observable" below means anything that changes simulation results: a
+/// commit, a fetch request, a sync event, finishing, or a change in stall
+/// classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Park {
+    /// The core would do observable work next cycle; keep ticking it.
+    Active,
+    /// Nothing observable happens strictly before the given cycle; the core
+    /// is only waiting for its resteer penalty to elapse.  The scheduler may
+    /// skip ahead and tick the core again at this cycle.
+    Until(u64),
+    /// Nothing observable happens until an external event arrives (a line
+    /// delivery via [`Core::deliver_line`] or an [`Core::unblock`]).
+    Waiting,
+}
+
 /// Progress of fetching the fetch block at the head of the FTQ.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum HeadFetch {
@@ -64,9 +86,13 @@ enum HeadFetch {
     /// The needed line is known but no line buffer could be allocated yet.
     WaitAlloc(u64),
     /// The line was requested (or found in-flight); waiting for the fill.
+    /// [`Core::deliver_line`] advances this to `Ready` when the fill lands,
+    /// so no per-cycle residency probe is needed.
     WaitFill(u64),
     /// The line is resident; instructions are being delivered from it.
-    Ready(u64),
+    /// `idx` caches the buffer slot (stable while the line stays resident,
+    /// which the lookahead victim check guarantees for the head line).
+    Ready { line: u64, idx: usize },
 }
 
 /// A simulated core.
@@ -90,9 +116,41 @@ pub struct Core {
     /// One record pushed back by fetch-block assembly (e.g. the first record
     /// after a discontinuity).
     pushback: Option<TraceRecord>,
+    /// Records batched out of the trace source, so block assembly pays one
+    /// virtual `next_records` call per batch instead of one per record.
+    trace_buf: Vec<TraceRecord>,
+    /// Read position in `trace_buf`.
+    trace_pos: usize,
 
     cpi: CpiStack,
     fetch_blocks: u64,
+
+    /// Scratch buffer reused by `fetch_lookahead` so the hot loop does not
+    /// allocate every cycle.
+    lookahead_scratch: Vec<u64>,
+    /// Memo: `true` when the last lookahead scan proved that no prefetch can
+    /// be issued until the line buffers or the FTQ change.  Cleared on every
+    /// line fill, successful allocation, and FTQ push.
+    lookahead_idle: bool,
+    /// Whether the memoised verdict came from a scan truncated at the
+    /// lookahead line cap.  A truncated verdict additionally expires when
+    /// the head block is consumed, because that slides the capped window
+    /// forward over lines the scan never examined.
+    lookahead_capped: bool,
+    /// Whether the memoised verdict came from a completed candidate scan
+    /// (in which case `lookahead_scratch` holds that scan's candidate list
+    /// and an FTQ push can extend it incrementally) as opposed to the
+    /// pending-buffer-count check (scratch stale, but pushes cannot affect
+    /// the verdict at all).
+    lookahead_scan: bool,
+    /// Number of leading candidates of a fresh lookahead scan that are known
+    /// to probe non-miss, so the scan can skip re-probing them.  Fills only
+    /// turn Pending buffers Valid (never create a miss) and the scan's own
+    /// allocations are victim-checked against the candidate list, so the
+    /// prefix survives both; it resets when the head consumes a line (the
+    /// candidate list shifts) or a head-side allocation evicts an arbitrary
+    /// LRU line.
+    lookahead_floor: usize,
 }
 
 impl std::fmt::Debug for Core {
@@ -134,8 +192,15 @@ impl Core {
             pending_sync: None,
             trace_done: false,
             pushback: None,
+            trace_buf: Vec::new(),
+            trace_pos: 0,
             cpi: CpiStack::new(),
             fetch_blocks: 0,
+            lookahead_scratch: Vec::new(),
+            lookahead_idle: false,
+            lookahead_capped: false,
+            lookahead_scan: false,
+            lookahead_floor: 0,
         }
     }
 
@@ -214,14 +279,41 @@ impl Core {
     /// Delivers the line containing `addr` into a waiting line buffer (the
     /// completion of a fetch request issued earlier).
     pub fn deliver_line(&mut self, addr: u64, now: u64) {
-        self.line_buffers.fill(addr, now);
+        let filled = self.line_buffers.fill(addr, now);
+        self.lookahead_idle = false;
+        if filled {
+            let line = addr & !(self.config.frontend.line_size - 1);
+            if self.head_fetch == HeadFetch::WaitFill(line) {
+                // Event-driven head wake-up: fills are the only Pending ->
+                // Valid transition, so advancing the state here replaces the
+                // per-cycle residency probe in `fetch_head`.
+                let idx = self
+                    .line_buffers
+                    .index_of(line)
+                    .expect("filled line must be resident");
+                self.head_fetch = HeadFetch::Ready { line, idx };
+            }
+        }
     }
 
     /// Simulates one cycle.
     pub fn cycle(&mut self, now: u64) -> CycleOutput {
         let mut out = CycleOutput::default();
+        self.cycle_into(now, &mut out);
+        out
+    }
+
+    /// Simulates one cycle, writing into a caller-owned output so its
+    /// `fetch_requests` allocation can be reused across cycles.  Equivalent
+    /// to [`Core::cycle`]; this is the hot-path entry point.
+    pub fn cycle_into(&mut self, now: u64, out: &mut CycleOutput) {
+        out.committed = 0;
+        out.fetch_requests.clear();
+        out.sync_event = None;
+        out.finished_now = false;
+        out.stall = None;
         if self.state == CoreState::Finished {
-            return out;
+            return;
         }
 
         // 1. Back-end: commit from the instruction queue.
@@ -230,7 +322,7 @@ impl Core {
 
         // 2. Fetch: move instructions from line buffers into the queue,
         //    issuing I-cache requests as needed.
-        self.fetch(now, &mut out);
+        self.fetch(now, out);
 
         // 3. Fetch-block generation from the trace (one block per cycle).
         if self.state == CoreState::Running && now >= self.resteer_until && !self.ftq.is_full() {
@@ -257,14 +349,14 @@ impl Core {
         } else if out.committed > 0 {
             self.cpi.record_commit_cycle(out.committed);
         }
-
-        out
     }
 
     fn commit(&mut self) -> u32 {
         self.commit_credit =
             (self.commit_credit + self.commit_rate).min(self.config.commit_width as f64);
-        let possible = self.commit_credit.floor() as usize;
+        // `as usize` truncates toward zero, which equals `floor()` for the
+        // non-negative credit and avoids a libm call in the hottest loop.
+        let possible = self.commit_credit as usize;
         let n = possible
             .min(self.iq_occupancy)
             .min(self.config.commit_width as usize);
@@ -294,7 +386,12 @@ impl Core {
                     let start = head.start;
                     match self.line_buffers.request(start, now) {
                         LineLookup::Hit => {
-                            self.head_fetch = HeadFetch::Ready(start & !(line_size - 1));
+                            let line = start & !(line_size - 1);
+                            let idx = self
+                                .line_buffers
+                                .index_of(line)
+                                .expect("request() hit implies residency");
+                            self.head_fetch = HeadFetch::Ready { line, idx };
                         }
                         LineLookup::Pending => {
                             self.head_fetch = HeadFetch::WaitFill(start & !(line_size - 1));
@@ -302,6 +399,11 @@ impl Core {
                         LineLookup::Miss => {
                             let line = start & !(line_size - 1);
                             if self.line_buffers.allocate(start, now) {
+                                // The allocation may have evicted any LRU
+                                // line, including a known-non-miss lookahead
+                                // candidate.
+                                self.lookahead_idle = false;
+                                self.lookahead_floor = 0;
                                 out.fetch_requests.push(line);
                                 self.head_fetch = HeadFetch::WaitFill(line);
                             } else {
@@ -310,28 +412,27 @@ impl Core {
                         }
                     }
                     // Only one lookup transition per cycle.
-                    if !matches!(self.head_fetch, HeadFetch::Ready(_)) {
+                    if !matches!(self.head_fetch, HeadFetch::Ready { .. }) {
                         return;
                     }
                 }
                 HeadFetch::WaitAlloc(line) => {
                     if self.line_buffers.allocate(line, now) {
+                        self.lookahead_idle = false;
+                        self.lookahead_floor = 0;
                         out.fetch_requests.push(line);
                         self.head_fetch = HeadFetch::WaitFill(line);
                     }
                     return;
                 }
-                HeadFetch::WaitFill(line) => {
-                    if self.line_buffers.probe(line) == LineLookup::Hit {
-                        self.head_fetch = HeadFetch::Ready(line);
-                        continue;
-                    }
+                HeadFetch::WaitFill(_) => {
+                    // `deliver_line` advances to Ready when the fill lands.
                     return;
                 }
-                HeadFetch::Ready(line) => {
+                HeadFetch::Ready { line, idx } => {
                     // Keep the line being consumed most-recently-used so a
                     // lookahead prefetch never displaces it.
-                    self.line_buffers.touch(line, now);
+                    self.line_buffers.touch_at(idx, now);
                     self.deliver_from_line(line, now);
                     return;
                 }
@@ -346,11 +447,34 @@ impl Core {
     /// block waits for its line, the next lines already ride the bus.
     fn fetch_lookahead(&mut self, now: u64, out: &mut CycleOutput) {
         const MAX_LOOKAHEAD_REQUESTS_PER_CYCLE: usize = 2;
-        const MAX_LOOKAHEAD_LINES: usize = 16;
+
+        // The memo is only ever set when the scan below completed with
+        // nothing to do, and is cleared whenever the inputs of that scan
+        // change (a fill, a successful allocation, or an FTQ push), so the
+        // early return is exact.  Consuming the head entry only shrinks the
+        // candidate set, hence cannot invalidate a "nothing to do" verdict.
+        if self.lookahead_idle {
+            return;
+        }
         let line_size = self.config.frontend.line_size;
 
-        // Candidate lines in program order over the queued fetch blocks.
-        let mut candidates: Vec<u64> = Vec::new();
+        // Always leave one buffer free so the head block can never be
+        // locked out by its own prefetches.  The pending count only changes
+        // through allocations and fills, both of which clear the memo.
+        let mut pending = self.line_buffers.pending_count();
+        if pending + 1 >= self.line_buffers.len() {
+            // This verdict does not depend on the candidate window at all,
+            // only on the pending count.
+            self.lookahead_idle = true;
+            self.lookahead_capped = false;
+            self.lookahead_scan = false;
+            return;
+        }
+
+        // Candidate lines in program order over the queued fetch blocks,
+        // collected into a scratch buffer reused across cycles.
+        let mut candidates = std::mem::take(&mut self.lookahead_scratch);
+        candidates.clear();
         'collect: for entry in self.ftq.iter() {
             if entry.num_instrs == 0 {
                 continue;
@@ -370,33 +494,253 @@ impl Core {
             }
         }
 
+        // Candidates below the floor probed non-miss in an earlier scan and
+        // nothing since could have turned them into misses; skip them.  No
+        // break can occur inside the skipped prefix either: `issued` starts
+        // at zero and the pending-count break would already have fired in
+        // the early check above.
+        let skip = self.lookahead_floor.min(candidates.len());
+        let mut floor = skip;
         let mut issued = 0;
-        for (i, line) in candidates.iter().copied().enumerate() {
+        let mut any_miss = false;
+        let mut broke = false;
+        for (i, line) in candidates.iter().copied().enumerate().skip(skip) {
             if issued >= MAX_LOOKAHEAD_REQUESTS_PER_CYCLE {
+                broke = true;
                 break;
             }
-            // Always leave one buffer free so the head block can never be
-            // locked out by its own prefetches.
-            if self.line_buffers.pending_count() + 1 >= self.line_buffers.len() {
+            if pending + 1 >= self.line_buffers.len() {
+                broke = true;
                 break;
             }
             if self.line_buffers.probe(line) != LineLookup::Miss {
+                floor = i + 1;
                 continue;
             }
+            any_miss = true;
             // Never displace a line the queued fetch blocks still need: a
             // prefetch that evicts sooner-needed code would be re-fetched
             // and waste bus bandwidth.
             if let Some(victim) = self.line_buffers.victim_line() {
-                if candidates[..i].contains(&victim) || candidates[i..].contains(&victim) {
+                if candidates.contains(&victim) {
+                    broke = true;
                     break;
                 }
             }
             if self.line_buffers.allocate(line, now) {
                 out.fetch_requests.push(line);
                 issued += 1;
+                pending += 1;
+                floor = i + 1;
             } else {
+                broke = true;
                 break;
             }
+        }
+        self.lookahead_floor = floor;
+        // A completed scan that saw no missing candidate proves future scans
+        // are no-ops until a fill/allocation/push changes the inputs: the
+        // verdict depends only on buffer contents and the candidate set, not
+        // on recency order or the cycle number.
+        if !broke && !any_miss {
+            self.lookahead_idle = true;
+            self.lookahead_capped = candidates.len() >= MAX_LOOKAHEAD_LINES;
+            self.lookahead_scan = true;
+        }
+        self.lookahead_scratch = candidates;
+    }
+
+    /// Maintains the lookahead memo across an FTQ push.  A fresh scan after
+    /// a push would see the previous candidates (or a subset, if head bytes
+    /// were consumed since) plus the new block's lines appended at the end
+    /// of the window, so an idle verdict survives iff none of the new lines
+    /// is a probe miss — checked here against just those lines instead of
+    /// dropping the memo and re-scanning the whole window next cycle.
+    ///
+    /// `lookahead_scratch` may be a stale *superset* of the real candidate
+    /// list (head consumption shrinks the list without updating it); that is
+    /// sound for the all-non-miss verdict but not for deciding truncation,
+    /// so reaching the line cap clears the memo instead of marking it
+    /// capped.
+    fn note_ftq_push(&mut self, start: u64, end: u64, num_instrs: u32) {
+        if !self.lookahead_idle {
+            return;
+        }
+        if !self.lookahead_scan {
+            // The verdict rests on the pending-buffer count, which a push
+            // does not change.
+            return;
+        }
+        if self.lookahead_capped || num_instrs == 0 {
+            // Capped: the window was already full before this push, and no
+            // head bytes were consumed since (that clears a capped memo), so
+            // the new lines lie beyond what a fresh scan would examine.
+            // Empty blocks contribute no candidates.
+            return;
+        }
+        let line_size = self.config.frontend.line_size;
+        let first = start & !(line_size - 1);
+        let last = (end.max(start + 1) - 1) & !(line_size - 1);
+        let mut line = first;
+        loop {
+            if self.lookahead_scratch.len() >= MAX_LOOKAHEAD_LINES
+                || self.line_buffers.probe(line) == LineLookup::Miss
+            {
+                self.lookahead_idle = false;
+                self.lookahead_capped = false;
+                return;
+            }
+            // `floor == scratch.len()` means no head consumption happened
+            // since the completed scan (consumption resets the floor while
+            // leaving scratch populated), so scratch mirrors the fresh
+            // candidate list and the newly probed line extends the non-miss
+            // prefix.
+            if self.lookahead_floor == self.lookahead_scratch.len() {
+                self.lookahead_floor += 1;
+            }
+            self.lookahead_scratch.push(line);
+            if line >= last {
+                return;
+            }
+            line += line_size;
+        }
+    }
+
+    /// Dry-run of [`Core::fetch_lookahead`]: would it issue at least one
+    /// request right now?  Mirrors the real loop exactly; when the answer is
+    /// a completed-scan "no", the memo is set so the next real scan is free.
+    fn lookahead_would_issue(&mut self) -> bool {
+        if self.lookahead_idle {
+            return false;
+        }
+        let line_size = self.config.frontend.line_size;
+        let pending = self.line_buffers.pending_count();
+        if pending + 1 >= self.line_buffers.len() {
+            self.lookahead_idle = true;
+            self.lookahead_capped = false;
+            self.lookahead_scan = false;
+            return false;
+        }
+
+        let mut candidates = std::mem::take(&mut self.lookahead_scratch);
+        candidates.clear();
+        'collect: for entry in self.ftq.iter() {
+            if entry.num_instrs == 0 {
+                continue;
+            }
+            let first = entry.start & !(line_size - 1);
+            let last = (entry.end().max(entry.start + 1) - 1) & !(line_size - 1);
+            let mut line = first;
+            loop {
+                candidates.push(line);
+                if line >= last || candidates.len() >= MAX_LOOKAHEAD_LINES {
+                    break;
+                }
+                line += line_size;
+            }
+            if candidates.len() >= MAX_LOOKAHEAD_LINES {
+                break 'collect;
+            }
+        }
+
+        let skip = self.lookahead_floor.min(candidates.len());
+        let mut floor = skip;
+        let mut verdict = None;
+        for (i, line) in candidates.iter().copied().enumerate().skip(skip) {
+            if self.line_buffers.probe(line) != LineLookup::Miss {
+                floor = i + 1;
+                continue;
+            }
+            // First missing candidate: the real loop either stops on the
+            // victim check or allocates (allocation cannot fail while a
+            // non-pending buffer exists, which `pending + 1 < len`
+            // guarantees).
+            let blocked = match self.line_buffers.victim_line() {
+                Some(victim) => candidates.contains(&victim),
+                None => false,
+            };
+            verdict = Some(!blocked);
+            break;
+        }
+        self.lookahead_floor = floor;
+        let would = match verdict {
+            Some(v) => v,
+            None => {
+                self.lookahead_idle = true;
+                self.lookahead_capped = candidates.len() >= MAX_LOOKAHEAD_LINES;
+                self.lookahead_scan = true;
+                false
+            }
+        };
+        self.lookahead_scratch = candidates;
+        would
+    }
+
+    /// Classifies what the core would do over the next cycles, for the
+    /// idle-skip scheduler.  Must be called right after [`Core::cycle`] for
+    /// the same cycle number and only when that cycle committed nothing.
+    ///
+    /// The contract: while the returned state holds (until the `Until`
+    /// cycle, or until a delivery/unblock for `Waiting`), ticking the core
+    /// would commit nothing, issue no requests, emit no events and keep the
+    /// same stall classification — except for the commit-credit refill and
+    /// failed-allocation statistics, both reproduced exactly by
+    /// [`Core::apply_parked_cycles`].
+    pub fn park_state(&mut self, now: u64) -> Park {
+        match self.state {
+            CoreState::Finished | CoreState::Blocked => return Park::Waiting,
+            CoreState::Running | CoreState::Draining => {}
+        }
+        if self.iq_occupancy > 0 {
+            return Park::Active;
+        }
+        let gen_ready = self.state == CoreState::Running && !self.ftq.is_full();
+        if gen_ready && now + 1 >= self.resteer_until {
+            return Park::Active;
+        }
+        match self.head_fetch {
+            HeadFetch::Ready { .. } => Park::Active,
+            HeadFetch::Idle => {
+                if !self.ftq.is_empty() {
+                    Park::Active
+                } else if gen_ready {
+                    Park::Until(self.resteer_until)
+                } else if now < self.resteer_until {
+                    // The stall classification flips from mispredict
+                    // recovery to sync when the penalty elapses; wake there
+                    // so the scheduler re-freezes the attribution.
+                    Park::Until(self.resteer_until)
+                } else {
+                    Park::Waiting
+                }
+            }
+            HeadFetch::WaitFill(_) | HeadFetch::WaitAlloc(_) => {
+                if self.lookahead_would_issue() {
+                    Park::Active
+                } else if gen_ready {
+                    Park::Until(self.resteer_until)
+                } else {
+                    Park::Waiting
+                }
+            }
+        }
+    }
+
+    /// Replays `span` parked cycles' worth of internal bookkeeping in O(1)
+    /// per effect: the commit-credit refill (which saturates at the commit
+    /// width) and, when the head block is waiting for a buffer, the failed
+    /// allocation retry each skipped cycle would have recorded.
+    pub fn apply_parked_cycles(&mut self, span: u64) {
+        let width = self.config.commit_width as f64;
+        for _ in 0..span {
+            let next = (self.commit_credit + self.commit_rate).min(width);
+            if next == self.commit_credit {
+                break;
+            }
+            self.commit_credit = next;
+        }
+        if matches!(self.head_fetch, HeadFetch::WaitAlloc(_)) {
+            self.line_buffers.note_allocation_stalls(span);
         }
     }
 
@@ -435,6 +779,20 @@ impl Core {
         } else if crossed_line {
             self.head_fetch = HeadFetch::Idle;
         }
+        // Consuming head bytes can only shrink the lookahead candidate set —
+        // unless the memoised scan was truncated at the line cap, in which
+        // case the window slides over unexamined lines and must be
+        // rescanned.  The candidate set is line-granular, so it only changes
+        // when the head leaves its current line or the block is popped.
+        if (block_done || crossed_line) && self.lookahead_capped {
+            self.lookahead_idle = false;
+            self.lookahead_capped = false;
+        }
+        if block_done || crossed_line {
+            // The candidate list shifts, so the non-miss prefix is no longer
+            // aligned with it.
+            self.lookahead_floor = 0;
+        }
     }
 
     /// Assembles one fetch block from the trace and pushes it into the FTQ.
@@ -451,7 +809,7 @@ impl Core {
         loop {
             let rec = match self.pushback.take() {
                 Some(r) => Some(r),
-                None => self.trace.next_record(),
+                None => self.next_trace_record(),
             };
             let Some(rec) = rec else {
                 self.trace_done = true;
@@ -531,11 +889,27 @@ impl Core {
                 ends_in_mispredict: mispredicted,
             });
             self.fetch_blocks += 1;
+            self.note_ftq_push(s, s + len_bytes as u64, num_instrs);
             let _ = line_size; // line mapping handled at fetch time
         }
         if mispredicted {
             self.resteer_until = now + self.config.frontend.mispredict_penalty;
         }
+    }
+
+    /// Pulls the next record through the batch buffer.
+    fn next_trace_record(&mut self) -> Option<TraceRecord> {
+        const TRACE_BATCH: usize = 64;
+        if self.trace_pos == self.trace_buf.len() {
+            self.trace_buf.clear();
+            self.trace_pos = 0;
+            if self.trace.next_records(&mut self.trace_buf, TRACE_BATCH) == 0 {
+                return None;
+            }
+        }
+        let r = self.trace_buf[self.trace_pos];
+        self.trace_pos += 1;
+        Some(r)
     }
 
     fn is_drained(&self) -> bool {

@@ -91,13 +91,20 @@ impl CpiStack {
 
     /// Records a stall cycle of the given kind.
     pub fn record_stall(&mut self, kind: StallKind) {
+        self.record_stall_n(kind, 1);
+    }
+
+    /// Records `n` stall cycles of the same kind at once.  The idle-skip
+    /// scheduler uses this to account a whole parked span in one call; the
+    /// result is identical to calling [`CpiStack::record_stall`] `n` times.
+    pub fn record_stall_n(&mut self, kind: StallKind, n: u64) {
         match kind {
-            StallKind::IcacheLatency => self.icache_latency += 1,
-            StallKind::IBusLatency => self.ibus_latency += 1,
-            StallKind::IBusCongestion => self.ibus_congestion += 1,
-            StallKind::BranchMiss => self.branch_miss += 1,
-            StallKind::Sync => self.sync += 1,
-            StallKind::Other => self.other += 1,
+            StallKind::IcacheLatency => self.icache_latency += n,
+            StallKind::IBusLatency => self.ibus_latency += n,
+            StallKind::IBusCongestion => self.ibus_congestion += n,
+            StallKind::BranchMiss => self.branch_miss += n,
+            StallKind::Sync => self.sync += n,
+            StallKind::Other => self.other += n,
         }
     }
 

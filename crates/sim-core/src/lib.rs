@@ -21,7 +21,7 @@ pub mod config;
 pub mod core;
 pub mod cpi;
 
-pub use crate::core::{Core, CoreState, CycleOutput, StallReason};
+pub use crate::core::{Core, CoreState, CycleOutput, Park, StallReason};
 pub use config::CoreConfig;
 pub use cpi::{CpiStack, StallKind};
 

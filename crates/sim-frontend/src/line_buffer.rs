@@ -76,6 +76,11 @@ pub struct LineBufferFile {
     buffers: Vec<Buffer>,
     line_size: u64,
     stats: LineBufferStats,
+    /// Buffers in [`State::Pending`], kept in sync with `buffers` so the
+    /// per-cycle occupancy checks are O(1) instead of a scan.
+    pending: usize,
+    /// Buffers in [`State::Invalid`], same purpose.
+    invalid: usize,
 }
 
 impl LineBufferFile {
@@ -101,6 +106,8 @@ impl LineBufferFile {
             ],
             line_size,
             stats: LineBufferStats::default(),
+            pending: 0,
+            invalid: n,
         }
     }
 
@@ -181,25 +188,28 @@ impl LineBufferFile {
             "allocate called for a line that is already tracked"
         );
         // Prefer an invalid buffer, then the least recently used valid one.
-        let slot = self
-            .buffers
-            .iter()
-            .position(|b| b.state == State::Invalid)
-            .or_else(|| {
-                self.buffers
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, b)| b.state == State::Valid)
-                    .min_by_key(|(_, b)| b.last_use)
-                    .map(|(i, _)| i)
-            });
+        // The counter tells which scan can succeed, so only one runs.
+        let slot = if self.invalid > 0 {
+            self.buffers.iter().position(|b| b.state == State::Invalid)
+        } else {
+            self.buffers
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.state == State::Valid)
+                .min_by_key(|(_, b)| b.last_use)
+                .map(|(i, _)| i)
+        };
         match slot {
             Some(idx) => {
+                if self.buffers[idx].state == State::Invalid {
+                    self.invalid -= 1;
+                }
                 self.buffers[idx] = Buffer {
                     line_addr: line,
                     state: State::Pending,
                     last_use: now,
                 };
+                self.pending += 1;
                 self.stats.icache_accesses += 1;
                 true
             }
@@ -208,6 +218,14 @@ impl LineBufferFile {
                 false
             }
         }
+    }
+
+    /// Records `n` rejected allocations without retrying them.  The
+    /// idle-skip scheduler uses this when a core parked with every buffer
+    /// pending skips `n` cycles: each skipped cycle would have retried (and
+    /// failed) the allocation, so the statistics must account for them.
+    pub fn note_allocation_stalls(&mut self, n: u64) {
+        self.stats.allocation_stalls += n;
     }
 
     /// Marks the line containing `addr` as used at `now` (keeps the line the
@@ -222,11 +240,26 @@ impl LineBufferFile {
         }
     }
 
+    /// Index of the buffer tracking the line containing `addr`, if any.
+    /// Lets a caller that re-touches the same resident line every cycle
+    /// cache the slot and use [`LineBufferFile::touch_at`] instead of
+    /// re-running the lookup.
+    pub fn index_of(&self, addr: u64) -> Option<usize> {
+        self.find(self.align(addr))
+    }
+
+    /// O(1) variant of [`LineBufferFile::touch`] for a cached index.  The
+    /// buffer must still hold the valid line the index was obtained for.
+    pub fn touch_at(&mut self, idx: usize, now: u64) {
+        debug_assert_eq!(self.buffers[idx].state, State::Valid);
+        self.buffers[idx].last_use = now;
+    }
+
     /// Returns the line address that the next [`LineBufferFile::allocate`]
     /// would evict, or `None` if an invalid buffer (or none at all, when
     /// every buffer is pending) would be used instead.
     pub fn victim_line(&self) -> Option<u64> {
-        if self.buffers.iter().any(|b| b.state == State::Invalid) {
+        if self.invalid > 0 {
             return None;
         }
         self.buffers
@@ -245,6 +278,7 @@ impl LineBufferFile {
             if self.buffers[idx].state == State::Pending {
                 self.buffers[idx].state = State::Valid;
                 self.buffers[idx].last_use = now;
+                self.pending -= 1;
                 return true;
             }
         }
@@ -253,10 +287,7 @@ impl LineBufferFile {
 
     /// Number of buffers with an outstanding request.
     pub fn pending_count(&self) -> usize {
-        self.buffers
-            .iter()
-            .filter(|b| b.state == State::Pending)
-            .count()
+        self.pending
     }
 
     /// Number of buffers holding a valid line.
@@ -276,6 +307,8 @@ impl LineBufferFile {
                 b.state = State::Invalid;
             }
         }
+        self.invalid += self.pending;
+        self.pending = 0;
     }
 
     /// Invalidates everything.
@@ -283,6 +316,8 @@ impl LineBufferFile {
         for b in &mut self.buffers {
             b.state = State::Invalid;
         }
+        self.invalid = self.buffers.len();
+        self.pending = 0;
     }
 }
 

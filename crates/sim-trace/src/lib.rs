@@ -49,7 +49,10 @@ pub use serialize::{
     read_trace_json, read_trace_set_json, write_trace_json, write_trace_set_json,
     TraceSerializeError, TRACE_FORMAT_VERSION,
 };
-pub use source::{ThreadId, ThreadTrace, TraceBuilder, TraceSet, TraceSource};
+pub use source::{
+    OwnedTraceCursor, SharedTraceCursor, ThreadId, ThreadTrace, ThreadTraceCursor, TraceBuilder,
+    TraceSet, TraceSource,
+};
 pub use stats::{FootprintStats, RegionStats, SharingStats, TraceStats};
 
 #[cfg(test)]

@@ -49,6 +49,25 @@ pub trait TraceSource {
     /// Returns the next record, or `None` at the end of the trace.
     fn next_record(&mut self) -> Option<TraceRecord>;
 
+    /// Appends up to `max` records to `buf`, returning how many were
+    /// appended (0 at the end of the trace).  Equivalent to calling
+    /// [`TraceSource::next_record`] repeatedly; materialised sources
+    /// override it with a slice copy so the simulator pays one virtual call
+    /// per batch instead of per record.
+    fn next_records(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.next_record() {
+                Some(r) => {
+                    buf.push(r);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// A hint of how many instructions remain, if known (used only for
     /// progress reporting).
     fn remaining_hint(&self) -> Option<u64> {
@@ -61,9 +80,28 @@ impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
         (**self).next_record()
     }
 
+    fn next_records(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> usize {
+        (**self).next_records(buf, max)
+    }
+
     fn remaining_hint(&self) -> Option<u64> {
         (**self).remaining_hint()
     }
+}
+
+/// Copies the next `max` records (or fewer at the end) from `records[*pos..]`
+/// into `buf`, advancing `*pos` — the shared body of the cursor
+/// `next_records` overrides.
+fn copy_records(
+    records: &[TraceRecord],
+    pos: &mut usize,
+    buf: &mut Vec<TraceRecord>,
+    max: usize,
+) -> usize {
+    let n = max.min(records.len() - *pos);
+    buf.extend_from_slice(&records[*pos..*pos + n]);
+    *pos += n;
+    n
 }
 
 /// A fully materialised, in-memory trace of a single thread.
@@ -180,8 +218,69 @@ impl TraceSource for ThreadTraceCursor<'_> {
         r
     }
 
+    fn next_records(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> usize {
+        copy_records(self.records, &mut self.pos, buf, max)
+    }
+
     fn remaining_hint(&self) -> Option<u64> {
         Some((self.records.len() - self.pos) as u64)
+    }
+}
+
+/// Cursor over one thread of a shared, reference-counted [`TraceSet`].
+///
+/// Many simulated machines replay the same traces (a parameter sweep runs
+/// every design point against one trace set); this cursor lets each core
+/// walk its thread's records through an `Arc` instead of cloning the whole
+/// record vector per machine.
+#[derive(Debug, Clone)]
+pub struct SharedTraceCursor {
+    set: std::sync::Arc<TraceSet>,
+    thread: usize,
+    pos: usize,
+}
+
+impl SharedTraceCursor {
+    /// Creates a cursor over `thread`'s records in `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` has no trace for `thread`.
+    pub fn new(set: std::sync::Arc<TraceSet>, thread: ThreadId) -> Self {
+        assert!(
+            thread.0 < set.num_threads(),
+            "trace set has {} threads, no trace for {thread}",
+            set.num_threads()
+        );
+        SharedTraceCursor {
+            set,
+            thread: thread.0,
+            pos: 0,
+        }
+    }
+}
+
+impl TraceSource for SharedTraceCursor {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let records = self.set.traces[self.thread].records();
+        let r = records.get(self.pos).copied();
+        if r.is_some() {
+            self.pos += 1;
+        }
+        r
+    }
+
+    fn next_records(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> usize {
+        copy_records(
+            self.set.traces[self.thread].records(),
+            &mut self.pos,
+            buf,
+            max,
+        )
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some((self.set.traces[self.thread].len() - self.pos) as u64)
     }
 }
 
@@ -199,6 +298,10 @@ impl TraceSource for OwnedTraceCursor {
             self.pos += 1;
         }
         r
+    }
+
+    fn next_records(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> usize {
+        copy_records(&self.records, &mut self.pos, buf, max)
     }
 
     fn remaining_hint(&self) -> Option<u64> {

@@ -47,12 +47,12 @@ fn main() {
     // degrees, then the two remedies, then the final proposal.
     let designs = vec![
         DesignPoint::baseline(),
-        DesignPoint::naive_shared(2),
-        DesignPoint::naive_shared(4),
-        DesignPoint::naive_shared(8),
-        DesignPoint::shared(16, 8, BusWidth::Single),
-        DesignPoint::shared(16, 4, BusWidth::Double),
-        DesignPoint::shared(16, 8, BusWidth::Double),
+        DesignPoint::naive_shared(2).expect("valid core count"),
+        DesignPoint::naive_shared(4).expect("valid core count"),
+        DesignPoint::naive_shared(8).expect("valid core count"),
+        DesignPoint::shared(16, 8, BusWidth::Single).expect("valid design"),
+        DesignPoint::shared(16, 4, BusWidth::Double).expect("valid design"),
+        DesignPoint::shared(16, 8, BusWidth::Double).expect("valid design"),
     ];
 
     // One engine-level fan-out over the full 4 × 7 grid: every (benchmark,

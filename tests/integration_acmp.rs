@@ -20,9 +20,9 @@ fn every_design_point_executes_the_full_trace_set() {
     let ctx = context(4, 10_000);
     let designs = [
         DesignPoint::baseline(),
-        DesignPoint::naive_shared(2),
-        DesignPoint::naive_shared(4),
-        DesignPoint::shared(16, 8, BusWidth::Single),
+        DesignPoint::naive_shared(2).expect("valid core count"),
+        DesignPoint::naive_shared(4).expect("valid core count"),
+        DesignPoint::shared(16, 8, BusWidth::Single).expect("valid design"),
         DesignPoint::proposed(),
         DesignPoint::all_shared(),
     ];
@@ -65,8 +65,14 @@ fn naive_sharing_hurts_most_at_the_highest_sharing_degree() {
     let ctx = context(8, 25_000);
     // UA is the paper's worst case for naive sharing (18% at cpc = 8).
     let base = ctx.simulate(Benchmark::Ua, &DesignPoint::baseline());
-    let cpc2 = ctx.simulate(Benchmark::Ua, &DesignPoint::naive_shared(2));
-    let cpc8 = ctx.simulate(Benchmark::Ua, &DesignPoint::naive_shared(8));
+    let cpc2 = ctx.simulate(
+        Benchmark::Ua,
+        &DesignPoint::naive_shared(2).expect("valid core count"),
+    );
+    let cpc8 = ctx.simulate(
+        Benchmark::Ua,
+        &DesignPoint::naive_shared(8).expect("valid core count"),
+    );
     let r2 = cpc2.cycles as f64 / base.cycles as f64;
     let r8 = cpc8.cycles as f64 / base.cycles as f64;
     assert!(
@@ -87,8 +93,14 @@ fn naive_sharing_hurts_most_at_the_highest_sharing_degree() {
 fn double_bus_recovers_the_naive_sharing_loss() {
     let ctx = context(8, 25_000);
     let base = ctx.simulate(Benchmark::Ua, &DesignPoint::baseline());
-    let naive = ctx.simulate(Benchmark::Ua, &DesignPoint::shared(16, 4, BusWidth::Single));
-    let double = ctx.simulate(Benchmark::Ua, &DesignPoint::shared(16, 4, BusWidth::Double));
+    let naive = ctx.simulate(
+        Benchmark::Ua,
+        &DesignPoint::shared(16, 4, BusWidth::Single).expect("valid design"),
+    );
+    let double = ctx.simulate(
+        Benchmark::Ua,
+        &DesignPoint::shared(16, 4, BusWidth::Double).expect("valid design"),
+    );
     let naive_ratio = naive.cycles as f64 / base.cycles as f64;
     let double_ratio = double.cycles as f64 / base.cycles as f64;
     assert!(
@@ -108,7 +120,10 @@ fn shared_icache_reduces_worker_misses() {
     let ctx = context(8, 25_000);
     for b in [Benchmark::Lu, Benchmark::CoEvp] {
         let private = ctx.simulate(b, &DesignPoint::baseline());
-        let shared = ctx.simulate(b, &DesignPoint::shared(32, 4, BusWidth::Double));
+        let shared = ctx.simulate(
+            b,
+            &DesignPoint::shared(32, 4, BusWidth::Double).expect("valid design"),
+        );
         assert!(
             shared.worker_icache.misses < private.worker_icache.misses,
             "{b}: shared misses {} vs private {}",
@@ -138,7 +153,10 @@ fn all_shared_is_worse_for_serial_heavy_benchmarks_than_for_parallel_ones() {
 #[test]
 fn cpi_stacks_account_for_every_cycle() {
     let ctx = context(4, 10_000);
-    let r = ctx.simulate(Benchmark::Ft, &DesignPoint::naive_shared(4));
+    let r = ctx.simulate(
+        Benchmark::Ft,
+        &DesignPoint::naive_shared(4).expect("valid core count"),
+    );
     for core in &r.cores {
         // Each core is accounted every cycle from start to its finish, so the
         // per-core total can not exceed the machine's cycle count but must be
@@ -166,16 +184,18 @@ fn every_design_point_variant_simulates_without_panicking() {
     });
     let designs = [
         DesignPoint::baseline(),
-        DesignPoint::naive_shared(2),
-        DesignPoint::naive_shared(4),
-        DesignPoint::shared(16, 2, BusWidth::Single),
-        DesignPoint::shared(16, 8, BusWidth::Double),
-        DesignPoint::shared(32, 4, BusWidth::Double),
+        DesignPoint::naive_shared(2).expect("valid core count"),
+        DesignPoint::naive_shared(4).expect("valid core count"),
+        DesignPoint::shared(16, 2, BusWidth::Single).expect("valid design"),
+        DesignPoint::shared(16, 8, BusWidth::Double).expect("valid design"),
+        DesignPoint::shared(32, 4, BusWidth::Double).expect("valid design"),
         DesignPoint::proposed(),
         DesignPoint::worker_shared_32k_double(),
         DesignPoint::all_shared(),
         DesignPoint::all_shared_single_bus(),
-        DesignPoint::proposed().with_line_buffers(8),
+        DesignPoint::proposed()
+            .with_line_buffers(8)
+            .expect("valid line-buffer count"),
     ];
     let expected = ctx.traces(Benchmark::Cg).total_instructions();
     for design in &designs {

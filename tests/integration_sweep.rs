@@ -24,7 +24,7 @@ fn grid() -> (Vec<Benchmark>, Vec<DesignPoint>) {
         vec![Benchmark::Cg, Benchmark::Lu, Benchmark::Ua],
         vec![
             DesignPoint::baseline(),
-            DesignPoint::naive_shared(2),
+            DesignPoint::naive_shared(2).expect("valid core count"),
             DesignPoint::proposed(),
         ],
     )
