@@ -1,0 +1,312 @@
+//! The lock-cheap per-thread event recorder.
+//!
+//! Every thread buffers its events in its own `Arc<Mutex<Vec<Event>>>`,
+//! registered once in a global list the first time the thread records.
+//! The hot emit path locks only the thread's own (uncontended) buffer;
+//! [`drain_events`] walks the registry, takes every buffer's contents —
+//! live threads included — and sorts them into a stable
+//! `(t_ns, thread, seq)` order.  Each thread stamps its events with a
+//! process-unique thread number and a per-thread sequence counter, which
+//! is what lets tests prove the recorder loses nothing and preserves
+//! per-thread order under concurrency.
+//!
+//! Draining through the registry (rather than an exit-time flush) matters
+//! for scoped worker pools: `std::thread::scope` unblocks the parent as
+//! soon as each closure returns, *before* the worker's thread-locals are
+//! torn down, so a flush-on-drop design would race the parent's drain.
+//! Here the parent's join gives it happens-before on everything a worker
+//! pushed, and the registry makes those buffers reachable.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What kind of event a trace line describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed scope: `t_ns` is its start, `dur_ns` its length.
+    Span,
+    /// An instant event: `t_ns` is its emit time.
+    Instant,
+    /// A structured log line (see [`logline!`](crate::logline)).
+    Log,
+}
+
+impl EventKind {
+    /// The kind's spelling in trace JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+            EventKind::Log => "log",
+        }
+    }
+}
+
+/// A dynamically-typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string field.
+    Str(String),
+    /// An unsigned integer field.
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A floating-point field.
+    F64(f64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+impl FieldValue {
+    /// The field as a JSON value.
+    #[must_use]
+    pub fn to_value(&self) -> serde::Value {
+        match self {
+            FieldValue::Str(s) => serde::Value::String(s.clone()),
+            FieldValue::U64(n) => serde::Value::UInt(*n),
+            FieldValue::I64(n) => {
+                if *n >= 0 {
+                    serde::Value::UInt(*n as u64)
+                } else {
+                    serde::Value::Int(*n)
+                }
+            }
+            FieldValue::F64(x) => serde::Value::Float(*x),
+            FieldValue::Bool(b) => serde::Value::Bool(*b),
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<&String> for FieldValue {
+    fn from(v: &String) -> Self {
+        FieldValue::Str(v.clone())
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Nanoseconds since the process's observability epoch (span start for
+    /// spans, emit time otherwise).
+    pub t_ns: u64,
+    /// Process-unique recorder thread number.
+    pub thread: u32,
+    /// Per-thread emission sequence number (gapless, starting at 0).
+    pub seq: u64,
+    /// Span, instant, or log.
+    pub kind: EventKind,
+    /// The event's canonical name (see [`names`](crate::names)).
+    pub name: &'static str,
+    /// Measured duration, spans only.
+    pub dur_ns: Option<u64>,
+    /// Attached key=value fields, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Every live (and not-yet-pruned dead) thread's buffer, in registration
+/// order.  Lock ordering: `REGISTRY` before any individual buffer.
+static REGISTRY: Mutex<Vec<Arc<Mutex<Vec<Event>>>>> = Mutex::new(Vec::new());
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+struct LocalBuf {
+    thread: u32,
+    seq: u64,
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl LocalBuf {
+    fn new() -> Self {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        REGISTRY.lock().push(Arc::clone(&events));
+        LocalBuf {
+            thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+            seq: 0,
+            events,
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::new());
+}
+
+pub(crate) fn record(
+    kind: EventKind,
+    name: &'static str,
+    t_ns: u64,
+    dur_ns: Option<u64>,
+    fields: Vec<(&'static str, FieldValue)>,
+) {
+    let _ = LOCAL.try_with(|local| {
+        let mut buf = local.borrow_mut();
+        let event = Event {
+            t_ns,
+            thread: buf.thread,
+            seq: buf.seq,
+            kind,
+            name,
+            dur_ns,
+            fields,
+        };
+        buf.seq += 1;
+        buf.events.lock().push(event);
+    });
+}
+
+/// Records an instant event now.  Callers normally go through
+/// [`event!`](crate::event), which also gates on [`events_enabled`](crate::events_enabled).
+pub fn emit_event(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    record(EventKind::Instant, name, crate::now_ns(), None, fields);
+}
+
+/// Records one structured log line (the event half of
+/// [`logline!`](crate::logline)).
+pub fn emit_log(text: &str) {
+    record(
+        EventKind::Log,
+        crate::names::LOG,
+        crate::now_ns(),
+        None,
+        vec![("msg", FieldValue::Str(text.to_string()))],
+    );
+}
+
+/// Takes every recorded event, sorted by `(t_ns, thread, seq)`.
+///
+/// Reads every registered thread's buffer, live threads included: events
+/// a worker recorded before its closure returned are visible to a parent
+/// that joined it (the join provides the happens-before edge).  Buffers
+/// whose thread has exited are pruned from the registry once emptied.
+pub fn drain_events() -> Vec<Event> {
+    let mut events = Vec::new();
+    {
+        let mut registry = REGISTRY.lock();
+        for buf in registry.iter() {
+            events.append(&mut buf.lock());
+        }
+        // A buffer referenced only by the registry belongs to a dead
+        // thread; it can no longer receive events, so drop it.
+        registry.retain(|buf| Arc::strong_count(buf) > 1);
+    }
+    events.sort_by_key(|e| (e.t_ns, e.thread, e.seq));
+    events
+}
+
+/// An open timed span; records on drop.  Produced by
+/// [`span!`](crate::span); a disabled guard is an empty shell that does
+/// nothing and allocated nothing.
+#[must_use = "bind to a named variable; dropping immediately times nothing"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    name: &'static str,
+    t_ns: u64,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanGuard {
+    /// Opens a live span (some sink is attached).
+    pub fn begin(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Self {
+        SpanGuard(Some(ActiveSpan {
+            name,
+            t_ns: crate::now_ns(),
+            start: Instant::now(),
+            fields,
+        }))
+    }
+
+    /// The no-op guard the disabled path returns.
+    pub fn disabled() -> Self {
+        SpanGuard(None)
+    }
+
+    /// Renames the span before it closes — how a span opened at the top of
+    /// an operation reports which outcome path it took (e.g.
+    /// `engine.simulate_cell.simulate` vs `….memory_hit`).  No-op on a
+    /// disabled guard.
+    pub fn set_name(&mut self, name: &'static str) {
+        if let Some(active) = &mut self.0 {
+            active.name = name;
+        }
+    }
+
+    /// Appends a field discovered mid-span (an outcome, a row count).
+    /// No-op on a disabled guard.
+    pub fn record_field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(active) = &mut self.0 {
+            active.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let dur_ns = u64::try_from(active.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if crate::metrics_enabled() {
+            crate::registry().histogram_record(active.name, dur_ns);
+        }
+        if crate::events_enabled() {
+            record(
+                EventKind::Span,
+                active.name,
+                active.t_ns,
+                Some(dur_ns),
+                active.fields,
+            );
+        }
+    }
+}

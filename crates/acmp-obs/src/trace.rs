@@ -1,0 +1,271 @@
+//! The JSONL trace format: one header line naming the schema, then one
+//! JSON object per event.
+//!
+//! Events print in `(t_ns, thread, seq)` order with a fixed field order,
+//! so two drains of the same recorded history are byte-identical.  The
+//! reader is a strict validator (unknown keys and malformed events are
+//! errors), which lets `sweep trace report` double as the trace schema
+//! check in CI.  A coordinator re-emits its shard children's events tagged
+//! with [`tag_shard`] — timestamps are per-process, so the tag (not the
+//! clock) is what attributes an event to its process.
+
+use crate::recorder::Event;
+use serde::Value;
+use std::io::Write;
+
+/// The trace header's schema identifier.
+pub const TRACE_SCHEMA: &str = "acmp-obs-trace/v1";
+
+/// The header line (no trailing newline).
+#[must_use]
+pub fn header_value() -> Value {
+    Value::Object(vec![(
+        "schema".to_string(),
+        Value::String(TRACE_SCHEMA.to_string()),
+    )])
+}
+
+/// One event as a JSON object with fixed field order.
+#[must_use]
+pub fn event_to_value(event: &Event) -> Value {
+    let mut fields = vec![
+        ("t_ns".to_string(), Value::UInt(event.t_ns)),
+        ("thread".to_string(), Value::UInt(u64::from(event.thread))),
+        ("seq".to_string(), Value::UInt(event.seq)),
+        (
+            "kind".to_string(),
+            Value::String(event.kind.as_str().to_string()),
+        ),
+        ("name".to_string(), Value::String(event.name.to_string())),
+    ];
+    if let Some(dur) = event.dur_ns {
+        fields.push(("dur_ns".to_string(), Value::UInt(dur)));
+    }
+    fields.push((
+        "fields".to_string(),
+        Value::Object(
+            event
+                .fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.to_value()))
+                .collect(),
+        ),
+    ));
+    Value::Object(fields)
+}
+
+/// Writes a complete trace: header line, then one line per value (values
+/// must already be event objects, e.g. from [`event_to_value`] or
+/// [`read_trace_values`]).
+///
+/// # Errors
+///
+/// Returns the I/O error if writing fails.
+pub fn write_values<W: Write>(writer: &mut W, events: &[Value]) -> std::io::Result<()> {
+    writeln!(writer, "{}", header_value())?;
+    for event in events {
+        writeln!(writer, "{event}")?;
+    }
+    Ok(())
+}
+
+/// [`write_values`] over freshly drained [`Event`]s.
+///
+/// # Errors
+///
+/// Returns the I/O error if writing fails.
+pub fn write_trace<W: Write>(writer: &mut W, events: &[Event]) -> std::io::Result<()> {
+    let values: Vec<Value> = events.iter().map(event_to_value).collect();
+    write_values(writer, &values)
+}
+
+/// Strictly validates one event object.
+///
+/// # Errors
+///
+/// Names the first violation (missing or mistyped required field, unknown
+/// key, unknown kind).
+pub fn validate_event_value(value: &Value) -> Result<(), String> {
+    let fields = value
+        .as_object()
+        .ok_or_else(|| "event is not an object".to_string())?;
+    for (key, _) in fields {
+        if !matches!(
+            key.as_str(),
+            "t_ns" | "thread" | "seq" | "kind" | "name" | "dur_ns" | "fields" | "shard"
+        ) {
+            return Err(format!("event has unknown field `{key}`"));
+        }
+    }
+    for key in ["t_ns", "thread", "seq"] {
+        match serde::get_field(fields, key) {
+            Ok(Value::UInt(_)) => {}
+            _ => return Err(format!("event field `{key}` is missing or not a uint")),
+        }
+    }
+    let kind = match serde::get_field(fields, "kind") {
+        Ok(Value::String(s)) => s.as_str(),
+        _ => return Err("event field `kind` is missing or not a string".to_string()),
+    };
+    if !matches!(kind, "span" | "instant" | "log") {
+        return Err(format!("event has unknown kind `{kind}`"));
+    }
+    match serde::get_field(fields, "name") {
+        Ok(Value::String(_)) => {}
+        _ => return Err("event field `name` is missing or not a string".to_string()),
+    }
+    match serde::get_field(fields, "dur_ns") {
+        Ok(Value::UInt(_)) => {
+            if kind != "span" {
+                return Err(format!("a `{kind}` event must not carry `dur_ns`"));
+            }
+        }
+        Ok(_) => return Err("event field `dur_ns` is not a uint".to_string()),
+        Err(_) => {
+            if kind == "span" {
+                return Err("a span event must carry `dur_ns`".to_string());
+            }
+        }
+    }
+    match serde::get_field(fields, "fields") {
+        Ok(Value::Object(_)) => {}
+        _ => return Err("event field `fields` is missing or not an object".to_string()),
+    }
+    if let Ok(shard) = serde::get_field(fields, "shard") {
+        if shard.as_str().is_none() {
+            return Err("event field `shard` is not a string".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Parses and strictly validates a whole trace document, returning the
+/// event objects (header consumed).
+///
+/// # Errors
+///
+/// Names the offending line: a missing or wrong-schema header, unparsable
+/// JSON, or an event failing [`validate_event_value`].
+pub fn read_trace_values(text: &str) -> Result<Vec<Value>, String> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| "trace is empty (no header line)".to_string())?;
+    let header_value: Value =
+        serde_json::from_str(header).map_err(|e| format!("trace header is not JSON: {e}"))?;
+    match header_value
+        .as_object()
+        .and_then(|f| serde::get_field(f, "schema").ok())
+        .and_then(Value::as_str)
+    {
+        Some(schema) if schema == TRACE_SCHEMA => {}
+        Some(schema) => {
+            return Err(format!(
+                "unsupported trace schema `{schema}` (want `{TRACE_SCHEMA}`)"
+            ))
+        }
+        None => return Err("trace header carries no schema tag".to_string()),
+    }
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("trace line {} is not JSON: {e}", i + 2))?;
+        validate_event_value(&value).map_err(|e| format!("trace line {}: {e}", i + 2))?;
+        events.push(value);
+    }
+    Ok(events)
+}
+
+/// Tags an event object with the shard that produced it (`"shard":"i/N"`),
+/// replacing any existing tag.  Used by the coordinator when folding child
+/// traces into its own.
+pub fn tag_shard(event: &mut Value, shard: &str) {
+    if let Value::Object(fields) = event {
+        fields.retain(|(k, _)| k != "shard");
+        fields.push(("shard".to_string(), Value::String(shard.to_string())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{EventKind, FieldValue};
+
+    fn sample_event() -> Event {
+        Event {
+            t_ns: 42,
+            thread: 1,
+            seq: 7,
+            kind: EventKind::Span,
+            name: "engine.simulate_cell.simulate",
+            dur_ns: Some(1000),
+            fields: vec![
+                ("benchmark", FieldValue::Str("cg".to_string())),
+                ("cells", FieldValue::U64(6)),
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_validator() {
+        let mut out = Vec::new();
+        write_trace(&mut out, &[sample_event()]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("{\"schema\":\"acmp-obs-trace/v1\"}\n"));
+        let events = read_trace_values(&text).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0]
+                .as_object()
+                .and_then(|f| serde::get_field(f, "name").ok())
+                .and_then(Value::as_str),
+            Some("engine.simulate_cell.simulate")
+        );
+    }
+
+    #[test]
+    fn shard_tags_survive_rewriting() {
+        let mut value = event_to_value(&sample_event());
+        tag_shard(&mut value, "2/3");
+        validate_event_value(&value).unwrap();
+        tag_shard(&mut value, "1/3");
+        let text = value.to_string();
+        assert!(text.contains("\"shard\":\"1/3\""));
+        assert!(!text.contains("2/3"), "re-tagging must replace the tag");
+    }
+
+    #[test]
+    fn validator_names_violations() {
+        for (label, line) in [
+            (
+                "no dur on span",
+                r#"{"t_ns":1,"thread":0,"seq":0,"kind":"span","name":"x","fields":{}}"#,
+            ),
+            (
+                "dur on instant",
+                r#"{"t_ns":1,"thread":0,"seq":0,"kind":"instant","name":"x","dur_ns":3,"fields":{}}"#,
+            ),
+            (
+                "unknown kind",
+                r#"{"t_ns":1,"thread":0,"seq":0,"kind":"weird","name":"x","fields":{}}"#,
+            ),
+            (
+                "unknown key",
+                r#"{"t_ns":1,"thread":0,"seq":0,"kind":"log","name":"x","fields":{},"extra":1}"#,
+            ),
+            (
+                "missing fields",
+                r#"{"t_ns":1,"thread":0,"seq":0,"kind":"log","name":"x"}"#,
+            ),
+        ] {
+            let value: Value = serde_json::from_str(line).unwrap();
+            assert!(validate_event_value(&value).is_err(), "{label}");
+        }
+        let bad_header = "{\"schema\":\"acmp-obs-trace/v0\"}\n";
+        assert!(read_trace_values(bad_header).is_err());
+        assert!(read_trace_values("").is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Recorder integrity under concurrency.
+//!
+//! The recorder is process-global, so this file holds exactly one test
+//! function: everything that must observe the global state runs inside it,
+//! in a fixed order, with no sibling test racing the registry.
+
+use acmp_obs::{drain_events, event, names, registry, EventKind};
+
+const THREADS: u64 = 8;
+const EVENTS_PER_THREAD: u64 = 1_000;
+
+#[test]
+fn concurrent_emit_loses_nothing_and_keeps_per_thread_order() {
+    acmp_obs::reset_for_tests();
+    acmp_obs::enable_events();
+    acmp_obs::enable_metrics();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for k in 0..EVENTS_PER_THREAD {
+                    event!("test.tick", t = t, k = k);
+                    acmp_obs::counter!("test.ticks", 1);
+                }
+            });
+        }
+    });
+
+    let events = drain_events();
+    let ours: Vec<_> = events.iter().filter(|e| e.name == "test.tick").collect();
+    assert_eq!(
+        ours.len() as u64,
+        THREADS * EVENTS_PER_THREAD,
+        "no event may be lost under concurrent emit"
+    );
+    assert_eq!(
+        registry().snapshot().counter("test.ticks"),
+        THREADS * EVENTS_PER_THREAD
+    );
+
+    // Per-thread order: group by recorder thread id; within each thread
+    // the sequence numbers must be gapless and the payload (`k`) must
+    // appear in emission order.
+    let mut per_thread: std::collections::BTreeMap<u32, Vec<(u64, u64)>> = Default::default();
+    for e in &ours {
+        assert_eq!(e.kind, EventKind::Instant);
+        let k = e
+            .fields
+            .iter()
+            .find_map(|(key, v)| match (key, v) {
+                (&"k", acmp_obs::FieldValue::U64(n)) => Some(*n),
+                _ => None,
+            })
+            .expect("every tick carries k");
+        per_thread.entry(e.thread).or_default().push((e.seq, k));
+    }
+    assert_eq!(per_thread.len() as u64, THREADS);
+    for (thread, mut entries) in per_thread {
+        entries.sort_by_key(|&(seq, _)| seq);
+        for (i, &(seq, k)) in entries.iter().enumerate() {
+            assert_eq!(seq, i as u64, "thread {thread}: gapless sequence");
+            assert_eq!(k, i as u64, "thread {thread}: per-thread emission order");
+        }
+    }
+
+    // Drain must have emptied the recorder; spans recorded after a drain
+    // are a fresh history.
+    assert!(drain_events().iter().all(|e| e.name != "test.tick"));
+    {
+        let mut span = acmp_obs::span!("test.span", label = "after-drain");
+        span.record_field("outcome", "ok");
+    }
+    let after = drain_events();
+    let span = after
+        .iter()
+        .find(|e| e.name == "test.span")
+        .expect("span recorded after drain");
+    assert_eq!(span.kind, EventKind::Span);
+    assert!(span.dur_ns.is_some(), "spans carry a measured duration");
+    assert!(span
+        .fields
+        .iter()
+        .any(|(k, v)| *k == "outcome" && *v == acmp_obs::FieldValue::Str("ok".to_string())));
+    // The span also landed in its duration histogram.
+    let snapshot = registry().snapshot();
+    assert_eq!(snapshot.histograms["test.span"].count, 1);
+
+    // `log` lines become events too.
+    acmp_obs::logline!("test log line {}", 42);
+    let logs = drain_events();
+    assert!(logs
+        .iter()
+        .any(|e| e.name == names::LOG && e.kind == EventKind::Log));
+
+    acmp_obs::reset_for_tests();
+}

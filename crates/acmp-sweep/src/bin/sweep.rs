@@ -68,6 +68,7 @@ usage: sweep run   [options]                 run a grid, or one shard of it
        sweep plan  FILE [options]            sign a multi-machine shard manifest
        sweep merge --manifest plan.json [--out FILE] shard-1.jsonl … shard-N.jsonl
        sweep store compact|stats|export FILE|import FILE [--cache-dir DIR]
+       sweep trace report TRACE.jsonl [--metrics FILE.json] [--top K]
        sweep [options]                       (deprecated alias grammar, see below)
 
 run options:
@@ -88,6 +89,11 @@ run options:
   --cache-dir DIR     on-disk result store                  (default: target/sweep-cache)
   --keep-generations N  evict all but the newest N store generations at open
   --no-disk-cache     disable the on-disk store
+  --trace-out FILE    write a structured JSONL event trace of the run
+                      (spans, log lines; sharded runs fold every child's
+                      events in, tagged `shard=i/N`)
+  --metrics-out FILE  write aggregated counters and duration histograms
+                      as one JSON document (schema acmp-obs-metrics/v1)
   --quiet             suppress per-job progress lines
   --help              this text
 
@@ -111,6 +117,16 @@ usage: sweep store compact|stats|export FILE|import FILE [--cache-dir DIR]
   export FILE         write every live record to FILE as a verified bundle
   import FILE         absorb a bundle exported elsewhere (local keys win)
   --cache-dir DIR     the store to operate on (default: target/sweep-cache)";
+
+const TRACE_USAGE: &str = "\
+usage: sweep trace report TRACE.jsonl [--metrics FILE.json] [--top K]
+  Validates a --trace-out trace (and optionally a --metrics-out document)
+  strictly against its schema, then prints a per-phase cost breakdown, the
+  top-K slowest cells, and a cache-efficiency summary.  A schema violation
+  exits non-zero naming the offending line, so this doubles as the trace
+  validator in CI.
+  --metrics FILE.json   fold a metrics document into the report
+  --top K               slowest-cell rows to print (default: 10)";
 
 const MERGE_USAGE: &str = "\
 usage: sweep merge --manifest plan.json [--out FILE] shard-1.jsonl … shard-N.jsonl
@@ -140,6 +156,8 @@ struct Options {
     cache_stats: bool,
     export_segments: Option<String>,
     import_segments: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
     quiet: bool,
     /// Grid-defining flags the user passed explicitly — with `--manifest`
     /// the grid comes from the manifest, so these conflict and are named
@@ -174,6 +192,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         cache_stats: false,
         export_segments: None,
         import_segments: None,
+        trace_out: None,
+        metrics_out: None,
         quiet: false,
         grid_flags: Vec::new(),
     };
@@ -244,6 +264,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--cache-stats" => opts.cache_stats = true,
             "--export-segments" => opts.export_segments = Some(value("--export-segments")?),
             "--import-segments" => opts.import_segments = Some(value("--import-segments")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
@@ -314,6 +336,149 @@ fn die_on_write_error(e: &std::io::Error) -> ! {
     std::process::exit(1);
 }
 
+/// Turns on the observability sinks the flags ask for.  Must run before
+/// the engine opens its store or simulates anything, so every span of the
+/// run lands in the artifacts.
+fn enable_observability(opts: &Options) {
+    if opts.trace_out.is_some() {
+        acmp_obs::enable_events();
+    }
+    if opts.metrics_out.is_some() {
+        acmp_obs::enable_metrics();
+    }
+}
+
+/// Writes the `--trace-out` / `--metrics-out` artifacts at the end of a
+/// run: this process's drained events plus `child_events` already rendered
+/// (and shard-tagged) by a coordinator, and the metrics snapshot merged
+/// with every child's.  No-ops for sinks that were not requested.
+fn write_obs_artifacts(
+    opts: &Options,
+    child_events: Vec<serde::Value>,
+    child_metrics: &[acmp_obs::MetricsSnapshot],
+) {
+    if let Some(path) = &opts.trace_out {
+        let mut values: Vec<serde::Value> = acmp_obs::drain_events()
+            .iter()
+            .map(acmp_obs::event_to_value)
+            .collect();
+        values.extend(child_events);
+        let result = std::fs::File::create(path).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            acmp_obs::write_values(&mut w, &values).and_then(|()| w.flush())
+        });
+        if let Err(e) = result {
+            eprintln!("sweep: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        let mut snapshot = acmp_obs::registry().snapshot();
+        for m in child_metrics {
+            snapshot.merge(m);
+        }
+        let mut json = snapshot.to_value().to_string();
+        json.push('\n');
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("sweep: cannot write metrics {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `sweep trace report TRACE.jsonl [--metrics FILE.json] [--top K]`.
+fn run_trace(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("report") => {}
+        Some("--help" | "-h") => {
+            eprintln!("{TRACE_USAGE}");
+            std::process::exit(0);
+        }
+        other => {
+            let got = other.map_or_else(String::new, |o| format!(" (got `{o}`)"));
+            eprintln!("sweep: `sweep trace` needs the `report` action{got}\n\n{TRACE_USAGE}");
+            std::process::exit(2);
+        }
+    }
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut top = 10usize;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("sweep trace: {name} needs a value\n\n{TRACE_USAGE}");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--metrics" => metrics_path = Some(value("--metrics")),
+            "--top" => {
+                let v = value("--top");
+                top = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("sweep trace: bad --top `{v}`\n\n{TRACE_USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!("{TRACE_USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("sweep trace: unknown option `{flag}`\n\n{TRACE_USAGE}");
+                std::process::exit(2);
+            }
+            file => {
+                if trace_path.replace(file.to_string()).is_some() {
+                    eprintln!("sweep trace: exactly one trace file, please\n\n{TRACE_USAGE}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        eprintln!("sweep trace: a trace file is required\n\n{TRACE_USAGE}");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("sweep trace: cannot read {trace_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Strict parse: any schema violation exits non-zero naming the line,
+    // which is what lets CI use `trace report` as the trace validator.
+    let events = match acmp_obs::read_trace_values(&text) {
+        Ok(events) => events,
+        Err(msg) => {
+            eprintln!("sweep trace: {trace_path}: {msg}");
+            std::process::exit(1);
+        }
+    };
+    let metrics = metrics_path.map(|path| {
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str::<serde::Value>(&text).map_err(|e| e.to_string()))
+            .and_then(|value| acmp_obs::MetricsSnapshot::from_value(&value));
+        match parsed {
+            Ok(snapshot) => snapshot,
+            Err(msg) => {
+                eprintln!("sweep trace: {path}: {msg}");
+                std::process::exit(1);
+            }
+        }
+    });
+    print!(
+        "{}",
+        acmp_obs::render_report(&events, metrics.as_ref(), top)
+    );
+}
+
 fn parse_or_die(args: &[String]) -> Options {
     match parse_args(args) {
         Ok(opts) => opts,
@@ -360,6 +525,7 @@ fn main() {
             run_plan(&opts, &file);
         }
         Some("store") => run_store(&args[1..]),
+        Some("trace") => run_trace(&args[1..]),
         // Deprecated alias grammar: the run/plan/store options as bare
         // top-level flags.  Kept silently working so existing scripts and
         // CI keep running; new scripts should use the subcommands.
@@ -380,6 +546,7 @@ fn main() {
 
 /// The `run` path shared by `sweep run` and the legacy flag grammar.
 fn dispatch_run(opts: &Options) {
+    enable_observability(opts);
     if let Some(path) = opts.manifest.clone() {
         run_manifest_shard(opts, &path);
         return;
@@ -633,7 +800,7 @@ fn run_grid(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig, scale:
 
     let mut sink = open_sink(opts.out.as_ref());
 
-    eprintln!(
+    acmp_obs::logline!(
         "sweep: {} benchmarks × {} designs = {} jobs{} on {} workers ({} scale{})",
         grid.benchmarks.len(),
         grid.designs.len(),
@@ -658,9 +825,11 @@ fn run_grid(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig, scale:
     let outcome = engine.run_jobs_with(jobs, |row| {
         let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
         if !opts.quiet {
-            eprintln!(
+            acmp_obs::logline!(
                 "[{n}/{total}] {} × {}: {} cycles",
-                row.benchmark, row.design, row.result.cycles
+                row.benchmark,
+                row.design,
+                row.result.cycles
             );
         }
     });
@@ -683,18 +852,24 @@ fn run_grid(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig, scale:
     }
 
     let stats = engine.stats();
-    eprintln!(
+    acmp_obs::logline!(
         "sweep: done in {wall:.2}s — jobs {total}, workers {}, simulated {}, memory-hits {}, disk-hits {}, trace-gens {}, trace-disk-hits {}, steals {}, injector-pops {}",
         engine.threads(), stats.simulated, stats.memory_hits, stats.disk_hits,
         stats.trace_generated, stats.trace_disk_hits, outcome.pool.steals,
         outcome.pool.injector_pops,
     );
     if let Some(store) = stats.store {
-        eprintln!(
+        acmp_obs::logline!(
             "sweep: store — hits {}, misses {}, writes {}, entries {}, segments {}, generation {}",
-            store.hits, store.misses, store.writes, store.entries, store.segments, store.generation
+            store.hits,
+            store.misses,
+            store.writes,
+            store.entries,
+            store.segments,
+            store.generation
         );
     }
+    write_obs_artifacts(opts, Vec::new(), &[]);
 }
 
 /// Spawns `shards` child shard processes over one store and merges their
@@ -726,7 +901,7 @@ fn run_coordinator(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig,
         std::process::exit(1);
     }
 
-    eprintln!(
+    acmp_obs::logline!(
         "sweep: {} benchmarks × {} designs = {} jobs across {shards} shard processes, {per_shard} workers each ({} scale{})",
         grid.benchmarks.len(),
         grid.designs.len(),
@@ -773,6 +948,17 @@ fn run_coordinator(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig,
         if opts.quiet {
             cmd.arg("--quiet");
         }
+        // Children write their own observability artifacts into the shard
+        // directory; the coordinator folds them into its own after the
+        // merge, tagging every child event `shard=i/N`.
+        if opts.trace_out.is_some() {
+            cmd.arg("--trace-out")
+                .arg(shard_dir.join(format!("trace-{i}.jsonl")));
+        }
+        if opts.metrics_out.is_some() {
+            cmd.arg("--metrics-out")
+                .arg(shard_dir.join(format!("metrics-{i}.json")));
+        }
         match cmd.spawn() {
             Ok(child) => children.push((i, child, out_path)),
             Err(e) => {
@@ -797,11 +983,13 @@ fn run_coordinator(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig,
     std::thread::scope(|scope| {
         for (i, stderr) in relays {
             scope.spawn(move || {
-                use std::io::BufRead;
-                for line in std::io::BufReader::new(stderr).lines() {
-                    let Ok(line) = line else { break };
-                    eprintln!("[shard {i}/{shards}] {line}");
-                }
+                // Tags every relayed line — panics and a killed child's
+                // partial final line included — and flushes per line.
+                let _ = acmp_sweep::relay_prefixed(
+                    std::io::BufReader::new(stderr),
+                    &mut std::io::stderr(),
+                    &format!("[shard {i}/{shards}] "),
+                );
             });
         }
         for (i, child, _) in &mut children {
@@ -858,16 +1046,66 @@ fn run_coordinator(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig,
             std::process::exit(1);
         }
     };
+
+    // Fold the children's observability artifacts in *before* the shard
+    // directory goes away.  A child that ran can't have skipped writing
+    // them, so an unreadable artifact is a real failure — report it and
+    // keep the directory for post-mortem.
+    let mut child_events: Vec<serde::Value> = Vec::new();
+    let mut child_metrics: Vec<acmp_obs::MetricsSnapshot> = Vec::new();
+    for i in 1..=shards {
+        if opts.trace_out.is_some() {
+            let path = shard_dir.join(format!("trace-{i}.jsonl"));
+            let values = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| acmp_obs::read_trace_values(&text));
+            match values {
+                Ok(mut values) => {
+                    let tag = format!("{i}/{shards}");
+                    for value in &mut values {
+                        acmp_obs::tag_shard(value, &tag);
+                    }
+                    child_events.extend(values);
+                }
+                Err(msg) => {
+                    eprintln!("sweep: shard {i}/{shards} trace {}: {msg}", path.display());
+                    eprintln!("sweep: shard artifacts kept in {}", shard_dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if opts.metrics_out.is_some() {
+            let path = shard_dir.join(format!("metrics-{i}.json"));
+            let snapshot = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| {
+                    serde_json::from_str::<serde::Value>(&text).map_err(|e| e.to_string())
+                })
+                .and_then(|value| acmp_obs::MetricsSnapshot::from_value(&value));
+            match snapshot {
+                Ok(snapshot) => child_metrics.push(snapshot),
+                Err(msg) => {
+                    eprintln!(
+                        "sweep: shard {i}/{shards} metrics {}: {msg}",
+                        path.display()
+                    );
+                    eprintln!("sweep: shard artifacts kept in {}", shard_dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
     let _ = std::fs::remove_dir_all(&shard_dir);
 
     let mut sink = open_sink(opts.out.as_ref());
     if let Err(e) = sink.write_all(&merged).and_then(|()| sink.flush()) {
         die_on_write_error(&e);
     }
-    eprintln!(
+    acmp_obs::logline!(
         "sweep: merged {shards} shard streams — {rows} rows in {:.2}s",
         start.elapsed().as_secs_f64()
     );
+    write_obs_artifacts(opts, child_events, &child_metrics);
 }
 
 /// `sweep merge`: recombine gathered per-shard JSONL files offline.

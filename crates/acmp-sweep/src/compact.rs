@@ -62,6 +62,7 @@ impl DiskStore {
     /// it was, and the new generation's temporaries and partial outputs
     /// are removed.
     pub fn compact(&self) -> std::io::Result<CompactStats> {
+        let _span = acmp_obs::span!(acmp_obs::names::STORE_COMPACT);
         let mut inner = self.inner.lock();
         let new_generation = inner.generation + 1;
         let segments_before = inner.segments.len() as u64;

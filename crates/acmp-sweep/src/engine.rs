@@ -314,6 +314,10 @@ impl SweepEngine {
     }
 
     fn load_or_generate_traces(&self, benchmark: Benchmark) -> TraceSet {
+        let mut span = acmp_obs::span!(
+            acmp_obs::names::TRACE_LOAD_GENERATE,
+            benchmark = benchmark.name()
+        );
         let key = self
             .store
             .as_ref()
@@ -322,6 +326,8 @@ impl SweepEngine {
             if let Some(text) = store.load::<String>(key) {
                 if let Ok(set) = read_trace_set_json(text.as_bytes()) {
                     self.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
+                    acmp_obs::counter!(acmp_obs::names::ENGINE_TRACE_DISK_HITS, 1);
+                    span.set_name(acmp_obs::names::TRACE_LOAD_DISK_HIT);
                     return set;
                 }
                 // A verifiable envelope holding an unreadable trace (e.g.
@@ -330,12 +336,17 @@ impl SweepEngine {
         }
         let set = TraceGenerator::new(benchmark.profile(), self.generator).generate();
         self.trace_generated.fetch_add(1, Ordering::Relaxed);
+        acmp_obs::counter!(acmp_obs::names::ENGINE_TRACE_GENERATED, 1);
         if let (Some(store), Some(key)) = (&self.store, &key) {
             let mut buf = Vec::new();
             if write_trace_set_json(&set, &mut buf).is_ok() {
                 if let Ok(text) = String::from_utf8(buf) {
                     // Like result writes, a failed trace write is non-fatal.
-                    let _ = store.save(key, &text);
+                    if store.save(key, &text).is_err() {
+                        acmp_obs::logline!(
+                            "sweep: warning: trace cache write failed for {benchmark}"
+                        );
+                    }
                 }
             }
         }
@@ -362,13 +373,23 @@ impl SweepEngine {
         design: &DesignPoint,
         key: JobKey,
     ) -> Arc<SimResult> {
+        let mut span = acmp_obs::span!(acmp_obs::names::SIMULATE_CELL_SIMULATE);
+        if acmp_obs::enabled() {
+            span.record_field("benchmark", benchmark.name());
+            span.record_field("design", design.to_string());
+            span.record_field("key", key.hex());
+        }
         if let Some(cached) = self.results.get(&key) {
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            acmp_obs::counter!(acmp_obs::names::ENGINE_MEMORY_HITS, 1);
+            span.set_name(acmp_obs::names::SIMULATE_CELL_MEMORY_HIT);
             return cached;
         }
         if let Some(store) = &self.store {
             if let Some(result) = store.load::<SimResult>(&key) {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                acmp_obs::counter!(acmp_obs::names::ENGINE_DISK_HITS, 1);
+                span.set_name(acmp_obs::names::SIMULATE_CELL_DISK_HIT);
                 return self.results.insert_if_absent(key, Arc::new(result));
             }
         }
@@ -380,9 +401,12 @@ impl SweepEngine {
                 .unwrap_or_else(|e| panic!("simulation of {benchmark} on {design} failed: {e}")),
         );
         self.simulated.fetch_add(1, Ordering::Relaxed);
+        acmp_obs::counter!(acmp_obs::names::ENGINE_SIMULATED, 1);
         if let Some(store) = &self.store {
             // A failed store write is non-fatal: the result stays in memory.
-            let _ = store.save(&key, result.as_ref());
+            if store.save(&key, result.as_ref()).is_err() {
+                acmp_obs::logline!("sweep: warning: result cache write failed for {key}");
+            }
         }
         self.results.insert_if_absent(key, result)
     }

@@ -62,7 +62,7 @@ pub use job::{JobKey, ShardSpec, SweepJob};
 pub use manifest::{scale_generator, SweepManifest};
 pub use merge::MergeError;
 pub use scheduler::{PoolStats, WorkStealingPool};
-pub use sharded::ShardedMap;
+pub use sharded::{relay_prefixed, ShardedMap};
 pub use store::{DiskStore, ImportStats, StoreStats};
 
 /// Everything a sweep caller needs in one `use`.

@@ -233,6 +233,7 @@ impl SweepManifest {
     ///
     /// Returns a human-readable message naming the disagreement.
     pub fn validate_grid(&self) -> Result<(GridSpec, GeneratorConfig), String> {
+        let _span = acmp_obs::span!(acmp_obs::names::MANIFEST_VALIDATE);
         let grid = GridSpec::parse(&self.benchmarks, &self.designs)
             .map_err(|e| format!("manifest grid spec does not parse here: {e}"))?;
         let generator = scale_generator(&self.scale)?;

@@ -183,6 +183,7 @@ pub fn validate_shard_stream<R: BufRead>(
     stream: R,
     schedule: &[String],
 ) -> Result<Vec<String>, MergeError> {
+    let mut span = acmp_obs::span!(acmp_obs::names::MERGE_VALIDATE_SHARD, shard = shard);
     let corrupt = |message: String| MergeError::Corrupt { shard, message };
     let mut lines: Vec<String> = Vec::with_capacity(schedule.len());
     let mut stream = stream;
@@ -259,6 +260,7 @@ pub fn validate_shard_stream<R: BufRead>(
             schedule.len()
         )));
     }
+    span.record_field("rows", lines.len());
     Ok(lines)
 }
 

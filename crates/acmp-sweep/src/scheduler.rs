@@ -117,6 +117,7 @@ impl WorkStealingPool {
             for idx in seeded..n_jobs {
                 inj.push_back(idx);
             }
+            acmp_obs::histogram!(acmp_obs::names::POOL_QUEUE_DEPTH, inj.len() as u64);
         }
 
         std::thread::scope(|scope| {
@@ -128,45 +129,63 @@ impl WorkStealingPool {
                 let steals = &steals;
                 let injector_pops = &injector_pops;
                 let f = &f;
-                scope.spawn(move || loop {
-                    // 1. Own deque, newest first.
-                    let mut job = deques[me].lock().pop_back();
-                    // 2. Global injector, oldest first.
-                    if job.is_none() {
-                        job = injector.lock().pop_front();
-                        if job.is_some() {
-                            injector_pops.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    // 3. Steal from siblings, oldest first.
-                    if job.is_none() {
-                        for other in 1..workers {
-                            let victim = (me + other) % workers;
-                            job = deques[victim].lock().pop_front();
+                scope.spawn(move || {
+                    let mut worker_span =
+                        acmp_obs::span!(acmp_obs::names::POOL_WORKER, worker = me);
+                    let (mut my_jobs, mut my_steals, mut my_pops) = (0u64, 0u64, 0u64);
+                    loop {
+                        // 1. Own deque, newest first.
+                        let mut job = deques[me].lock().pop_back();
+                        // 2. Global injector, oldest first.
+                        if job.is_none() {
+                            job = injector.lock().pop_front();
                             if job.is_some() {
-                                steals.fetch_add(1, Ordering::Relaxed);
-                                break;
+                                injector_pops.fetch_add(1, Ordering::Relaxed);
+                                my_pops += 1;
                             }
                         }
-                    }
-                    match job {
-                        Some(idx) => {
-                            let out = f(&jobs[idx]);
-                            *slots[idx].lock() = Some(out);
+                        // 3. Steal from siblings, oldest first.
+                        if job.is_none() {
+                            for other in 1..workers {
+                                let victim = (me + other) % workers;
+                                job = deques[victim].lock().pop_front();
+                                if job.is_some() {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    my_steals += 1;
+                                    break;
+                                }
+                            }
                         }
-                        // Every queue was observed empty.  All jobs were
-                        // enqueued before the workers started and jobs never
-                        // spawn jobs, so queues only drain: nothing will
-                        // reappear and this worker can exit.  Siblings still
-                        // executing their last job finish it before they
-                        // exit, so every slot is filled by scope end —
-                        // idle workers must not spin against the running
-                        // workers' locks while the unbalanced tail drains.
-                        None => break,
+                        match job {
+                            Some(idx) => {
+                                let out = f(&jobs[idx]);
+                                *slots[idx].lock() = Some(out);
+                                my_jobs += 1;
+                            }
+                            // Every queue was observed empty.  All jobs were
+                            // enqueued before the workers started and jobs never
+                            // spawn jobs, so queues only drain: nothing will
+                            // reappear and this worker can exit.  Siblings still
+                            // executing their last job finish it before they
+                            // exit, so every slot is filled by scope end —
+                            // idle workers must not spin against the running
+                            // workers' locks while the unbalanced tail drains.
+                            None => break,
+                        }
                     }
+                    worker_span.record_field("jobs", my_jobs);
+                    worker_span.record_field("steals", my_steals);
+                    worker_span.record_field("injector_pops", my_pops);
                 });
             }
         });
+
+        acmp_obs::counter!(acmp_obs::names::POOL_JOBS, n_jobs as u64);
+        acmp_obs::counter!(acmp_obs::names::POOL_STEALS, steals.load(Ordering::Relaxed));
+        acmp_obs::counter!(
+            acmp_obs::names::POOL_INJECTOR_POPS,
+            injector_pops.load(Ordering::Relaxed)
+        );
 
         let results: Vec<R> = slots
             .into_iter()

@@ -84,10 +84,70 @@ impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
     }
 }
 
+/// Relays `reader` to `sink` line by line, prefixing **every** line with
+/// `prefix` and flushing after each one.
+///
+/// This is the shard coordinator's stderr relay: a child's progress,
+/// summary, and panic output all stream through here, and each line must
+/// carry its `[shard i/N]` tag so interleaved shard output stays
+/// attributable.  Unlike `BufRead::lines`, a final partial line (a child
+/// that panicked or was killed mid-write, leaving no trailing newline) is
+/// still prefixed and emitted — dropping it would hide exactly the output
+/// that explains the failure.  Bytes are forwarded as read (no UTF-8
+/// round-trip), so even invalid UTF-8 from a dying child survives.
+///
+/// # Errors
+///
+/// Returns the first I/O error from `reader` or `sink`; everything relayed
+/// before it has already been flushed.
+pub fn relay_prefixed<R: std::io::BufRead, W: std::io::Write>(
+    mut reader: R,
+    sink: &mut W,
+    prefix: &str,
+) -> std::io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tagged: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(());
+        }
+        let line = buf.strip_suffix(b"\n").unwrap_or(&buf);
+        // One `write_all` per line: concurrent relays (one thread per
+        // shard) each take the sink's lock once per line, so a tag and
+        // its line can never be split by a sibling's output.
+        tagged.clear();
+        tagged.extend_from_slice(prefix.as_bytes());
+        tagged.extend_from_slice(line);
+        tagged.push(b'\n');
+        sink.write_all(&tagged)?;
+        sink.flush()?;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn relay_prefixes_every_line_and_keeps_a_partial_tail() {
+        // The child died mid-line: no trailing newline on the last line.
+        let child_stderr = b"starting\npanicked at 'boom'".as_slice();
+        let mut out: Vec<u8> = Vec::new();
+        relay_prefixed(child_stderr, &mut out, "[shard 2/3] ").unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "[shard 2/3] starting\n[shard 2/3] panicked at 'boom'\n"
+        );
+    }
+
+    #[test]
+    fn relay_of_an_empty_stream_emits_nothing() {
+        let mut out: Vec<u8> = Vec::new();
+        relay_prefixed(std::io::empty(), &mut out, "[shard 1/1] ").unwrap();
+        assert!(out.is_empty());
+    }
 
     #[test]
     fn insert_and_get_round_trip() {

@@ -144,6 +144,10 @@ impl DiskStore {
     /// Returns the I/O error if the directory cannot be created or scanned.
     pub fn open_limited(root: impl Into<PathBuf>, limit: Option<u64>) -> std::io::Result<Self> {
         let root = root.into();
+        let mut span = acmp_obs::span!(acmp_obs::names::STORE_OPEN);
+        if acmp_obs::enabled() {
+            span.record_field("root", root.display().to_string());
+        }
         std::fs::create_dir_all(&root)?;
 
         // Collect and order the segment files: generation first, then
@@ -256,6 +260,7 @@ impl DiskStore {
     /// index-only: schedulers probe it per cell while planning, and the
     /// load path re-checks the directory anyway.
     pub fn refresh(&self) -> usize {
+        let mut span = acmp_obs::span!(acmp_obs::names::STORE_REFRESH);
         let mut inner = self.inner.lock();
         let Ok(found) = segment::list_segments(&self.root) else {
             return 0;
@@ -272,6 +277,7 @@ impl DiskStore {
                 indexed += 1;
             }
         }
+        span.record_field("segments_indexed", indexed);
         indexed
     }
 
@@ -326,6 +332,7 @@ impl DiskStore {
         canonical: &str,
         line: &str,
     ) -> std::io::Result<()> {
+        let _span = acmp_obs::span!(acmp_obs::names::STORE_APPEND);
         self.ensure_active(inner, line.len() as u64)?;
         let (write_result, segment, offset) = {
             let active = inner.active.as_mut().expect("ensure_active installs one");
@@ -365,6 +372,7 @@ impl DiskStore {
         }
         inner.live_bytes += record_len;
         self.writes.fetch_add(1, Ordering::Relaxed);
+        acmp_obs::counter!(acmp_obs::names::STORE_APPEND_BYTES, line.len() as u64);
         Ok(())
     }
 
@@ -381,6 +389,7 @@ impl DiskStore {
     /// Returns the I/O error if a segment cannot be read back or `sink`
     /// cannot be written.
     pub fn export_segments<W: Write>(&self, sink: &mut W) -> std::io::Result<u64> {
+        let mut span = acmp_obs::span!(acmp_obs::names::STORE_EXPORT);
         // Snapshot the live spans under the lock, but read them back
         // outside it: segments are append-only, so a snapshotted span's
         // bytes never change, and a large export must not block every
@@ -417,12 +426,16 @@ impl DiskStore {
             digest = crate::stable_hash::fnv1a_fold(digest, b"\n");
         }
         writeln!(sink, "{}", segment::encode_export_header(records, digest))?;
+        let mut body_bytes = 0u64;
         for (_, path, offset, len) in &spans {
             let record = read_span(path, *offset, *len)?;
             sink.write_all(record.as_bytes())?;
             sink.write_all(b"\n")?;
+            body_bytes += record.len() as u64 + 1;
         }
         sink.flush()?;
+        span.record_field("records", records);
+        acmp_obs::counter!(acmp_obs::names::STORE_EXPORT_BYTES, body_bytes);
         Ok(records)
     }
 
@@ -467,14 +480,17 @@ impl DiskStore {
         // only the (single) buffered copy needed for the
         // verify-everything-then-append contract — not a second whole-body
         // String on top of it.
+        let mut span = acmp_obs::span!(acmp_obs::names::STORE_IMPORT);
         let mut folded = crate::stable_hash::fnv1a_init();
         let mut verified: Vec<(String, String)> = Vec::new();
         let mut buf: Vec<u8> = Vec::new();
+        let mut body_bytes = 0u64;
         loop {
             buf.clear();
             if source.read_until(b'\n', &mut buf)? == 0 {
                 break;
             }
+            body_bytes += buf.len() as u64;
             folded = crate::stable_hash::fnv1a_fold(folded, &buf);
             let bytes = buf.strip_suffix(b"\n").unwrap_or(&buf);
             let canonical = std::str::from_utf8(bytes)
@@ -524,6 +540,9 @@ impl DiskStore {
             self.append_record_line(&mut inner, &canonical, &line)?;
             stats.imported += 1;
         }
+        span.record_field("imported", stats.imported);
+        span.record_field("skipped", stats.skipped);
+        acmp_obs::counter!(acmp_obs::names::STORE_IMPORT_BYTES, body_bytes);
         Ok(stats)
     }
 

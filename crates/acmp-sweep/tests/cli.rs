@@ -1009,3 +1009,255 @@ fn keep_generations_flag_bounds_the_store() {
     assert!(stderr.contains("bad generation count"), "{stderr}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Parses the `simulated N` figure out of the run summary line on stderr.
+fn summary_stat(stderr: &str, stat: &str) -> u64 {
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("sweep: done"))
+        .unwrap_or_else(|| panic!("no summary line in stderr: {stderr}"));
+    let tail = line
+        .split(&format!("{stat} "))
+        .nth(1)
+        .unwrap_or_else(|| panic!("summary line lacks `{stat}`: {line}"));
+    tail.split([',', ' '])
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable `{stat}` in: {line}"))
+}
+
+#[test]
+fn observability_artifacts_validate_and_rows_stay_byte_identical() {
+    // The whole point of the shim-style tracer: turning both sinks on must
+    // not move a single output byte, and the artifacts it writes must
+    // reconcile exactly with the summary the engine printed.
+    let dir = temp_dir("obs-artifacts");
+    let trace = dir.join("trace.jsonl");
+    let metrics = dir.join("metrics.json");
+    let run = run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--cache-dir",
+        dir.join("cache").to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        run.stdout,
+        fixture_bytes(),
+        "enabling observability sinks must leave the row stream untouched"
+    );
+
+    // The trace is strictly schema-valid (the reader rejects anything off).
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        trace_text.starts_with("{\"schema\":\"acmp-obs-trace/v1\"}\n"),
+        "trace must open with its schema header"
+    );
+    let events = acmp_obs::read_trace_values(&trace_text).expect("trace validates");
+    assert!(!events.is_empty());
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match serde::get_field(as_object(e), "kind").ok() {
+            Some(serde::Value::String(k)) if k == "span" => {
+                match serde::get_field(as_object(e), "name").ok() {
+                    Some(serde::Value::String(n)) => Some(n.as_str()),
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect();
+    for expected in [
+        "engine.simulate_cell.simulate",
+        "engine.trace_load.generate",
+        "pool.worker",
+        "store.open",
+    ] {
+        assert!(
+            span_names.contains(&expected),
+            "trace lacks `{expected}` spans; saw {span_names:?}"
+        );
+    }
+    // A cold 2-benchmark × 3-degree grid simulates all six cells.
+    let sim_spans = span_names
+        .iter()
+        .filter(|n| **n == "engine.simulate_cell.simulate")
+        .count() as u64;
+    assert_eq!(sim_spans, summary_stat(&run.stderr, "simulated"));
+
+    // The metrics snapshot round-trips through its versioned schema and its
+    // counters agree with the summary, number for number.
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    let value = serde_json::from_str::<serde::Value>(&metrics_text).unwrap();
+    let snapshot = acmp_obs::MetricsSnapshot::from_value(&value).expect("metrics validate");
+    for (counter, stat) in [
+        ("engine.simulated", "simulated"),
+        ("engine.memory_hits", "memory-hits"),
+        ("engine.disk_hits", "disk-hits"),
+        ("engine.trace_generated", "trace-gens"),
+        ("engine.trace_disk_hits", "trace-disk-hits"),
+    ] {
+        assert_eq!(
+            snapshot.counter(counter),
+            summary_stat(&run.stderr, stat),
+            "`{counter}` must reconcile with the stderr summary"
+        );
+    }
+    assert!(
+        snapshot.counter("trace.refills") > 0,
+        "simulations replay traces, so the hot refill counter must move"
+    );
+
+    // Warm rerun: same bytes, and the artifacts now describe disk hits.
+    let rerun = run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--cache-dir",
+        dir.join("cache").to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(rerun.stdout, fixture_bytes());
+    let value =
+        serde_json::from_str::<serde::Value>(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let warm = acmp_obs::MetricsSnapshot::from_value(&value).unwrap();
+    assert_eq!(warm.counter("engine.simulated"), 0);
+    assert_eq!(warm.counter("engine.disk_hits"), 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Views a trace event as its field list, panicking on non-objects.
+fn as_object(value: &serde::Value) -> &[(String, serde::Value)] {
+    match value {
+        serde::Value::Object(fields) => fields,
+        other => panic!("trace events are objects, got {other}"),
+    }
+}
+
+#[test]
+fn sharded_run_folds_child_artifacts_into_the_parent() {
+    // The coordinator must gather every child's trace and metrics before
+    // tearing down the shard scratch dir: events come back tagged with
+    // their shard, counters come back summed.
+    let dir = temp_dir("obs-sharded");
+    let trace = dir.join("trace.jsonl");
+    let metrics = dir.join("metrics.json");
+    let run = run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--shards",
+        "2",
+        "--cache-dir",
+        dir.join("cache").to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        run.stdout,
+        fixture_bytes(),
+        "sharded observability run must still merge to the fixture bytes"
+    );
+
+    let events = acmp_obs::read_trace_values(&std::fs::read_to_string(&trace).unwrap())
+        .expect("merged trace validates");
+    let mut shards_seen: Vec<String> = events
+        .iter()
+        .filter_map(|e| match serde::get_field(as_object(e), "shard").ok() {
+            Some(serde::Value::String(s)) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    shards_seen.sort();
+    shards_seen.dedup();
+    assert_eq!(
+        shards_seen,
+        ["1/2", "2/2"],
+        "both children's events must arrive shard-tagged"
+    );
+
+    let value =
+        serde_json::from_str::<serde::Value>(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let merged = acmp_obs::MetricsSnapshot::from_value(&value).unwrap();
+    // Six cells split across two children; the merged snapshot sums them.
+    assert_eq!(
+        merged.counter("engine.simulated") + merged.counter("engine.disk_hits"),
+        6,
+        "merged counters must account for every cell exactly once"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_report_summarises_a_run_and_rejects_corrupt_traces() {
+    let dir = temp_dir("obs-report");
+    let trace = dir.join("trace.jsonl");
+    let metrics = dir.join("metrics.json");
+    run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--cache-dir",
+        dir.join("cache").to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--quiet",
+    ]);
+
+    let report = run_sweep(&[
+        "trace",
+        "report",
+        trace.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--top",
+        "3",
+    ]);
+    for section in [
+        "per-phase cost:",
+        "slowest cells (top 3):",
+        "cache efficiency:",
+    ] {
+        assert!(
+            report.stdout.contains(section),
+            "report lacks `{section}`:\n{}",
+            report.stdout
+        );
+    }
+    assert!(
+        report.stdout.contains("engine.simulate_cell"),
+        "report must attribute cost to the simulate-cell phase:\n{}",
+        report.stdout
+    );
+
+    // A corrupt trace is a hard, line-numbered error — the report doubles
+    // as the schema validator CI leans on, so it must not shrug.
+    let corrupt = dir.join("corrupt.jsonl");
+    let mut text = std::fs::read_to_string(&trace).unwrap();
+    text.push_str("{\"not\":\"an event\"}\n");
+    std::fs::write(&corrupt, &text).unwrap();
+    let stderr = run_sweep_expect_failure(&["trace", "report", corrupt.to_str().unwrap()]);
+    assert!(
+        stderr.contains("line"),
+        "schema violation must name the offending line: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

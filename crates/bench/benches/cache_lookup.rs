@@ -6,7 +6,7 @@
 //! tag layout and multiply-shift line hashing show up directly here.  The
 //! trajectory lands in `BENCH_cache_lookup.json` at the workspace root.
 
-use bench_harness::{bench_samples, write_bench_report};
+use bench_harness::{bench_samples, enable_bench_metrics, write_bench_report};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use serde_json::json;
 use sim_cache::{CacheConfig, SetAssocCache};
@@ -47,6 +47,7 @@ fn run_lookups(cache: &mut SetAssocCache, addrs: &[u64]) -> u64 {
 }
 
 fn bench_cache_lookup(c: &mut Criterion) {
+    enable_bench_metrics();
     let addrs = address_stream();
     let mut cache = SetAssocCache::new(CacheConfig::icache_32k());
     // Warm once so the measured passes see a populated cache.

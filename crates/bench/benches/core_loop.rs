@@ -7,7 +7,7 @@
 //! `BENCH_core_loop.json` at the workspace root.
 
 use acmp_sweep::prelude::*;
-use bench_harness::{bench_samples, write_bench_report};
+use bench_harness::{bench_samples, enable_bench_metrics, write_bench_report};
 use criterion::{criterion_group, criterion_main, Criterion};
 use hpc_workloads::{Benchmark, GeneratorConfig, TraceGenerator};
 use serde_json::json;
@@ -37,6 +37,7 @@ fn run_machine(traces: &Arc<TraceSet>) -> u64 {
 }
 
 fn bench_core_loop(c: &mut Criterion) {
+    enable_bench_metrics();
     let traces = traces();
     let mut group = c.benchmark_group("core_loop");
     group.bench_function("cg/baseline", |b| b.iter(|| run_machine(&traces)));

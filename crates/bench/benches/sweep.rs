@@ -16,7 +16,7 @@
 //!   from the other's work.
 
 use acmp_sweep::prelude::*;
-use bench_harness::{bench_samples, throughput, write_bench_report};
+use bench_harness::{bench_samples, enable_bench_metrics, throughput, write_bench_report};
 use criterion::{criterion_group, criterion_main, Criterion};
 use hpc_workloads::{Benchmark, GeneratorConfig};
 use serde_json::json;
@@ -68,6 +68,7 @@ fn measure_ms(workers: usize, samples: u32) -> f64 {
 }
 
 fn bench_sweep_throughput(c: &mut Criterion) {
+    enable_bench_metrics();
     let serial = throughput::SERIAL_WORKERS;
     let parallel = throughput::parallel_workers();
     assert!(

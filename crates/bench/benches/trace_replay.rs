@@ -6,7 +6,7 @@
 //! allocation hoisting and record batching in trace replay act on.  The
 //! trajectory lands in `BENCH_trace_replay.json` at the workspace root.
 
-use bench_harness::{bench_samples, write_bench_report};
+use bench_harness::{bench_samples, enable_bench_metrics, write_bench_report};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hpc_workloads::{Benchmark, GeneratorConfig, TraceGenerator};
 use serde_json::json;
@@ -50,6 +50,7 @@ fn replay_all(set: &Arc<TraceSet>) -> u64 {
 }
 
 fn bench_trace_replay(c: &mut Criterion) {
+    enable_bench_metrics();
     let set = traces();
     let mut group = c.benchmark_group("trace_replay");
     group.bench_function("cg/all-threads", |b| b.iter(|| replay_all(&set)));

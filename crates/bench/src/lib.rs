@@ -126,11 +126,34 @@ pub fn bench_samples(default: u32) -> u32 {
         .unwrap_or(default)
 }
 
+/// Turns on the aggregated metrics registry for this bench process, so
+/// [`write_bench_report`] can embed a snapshot of the run's counters and
+/// duration histograms.  Call it at the top of a bench, before the work
+/// being measured.
+pub fn enable_bench_metrics() {
+    acmp_obs::enable_metrics();
+}
+
 /// Writes a `BENCH_*.json` trajectory report to the workspace root.
 ///
 /// `file` is the bare file name (`BENCH_sweep.json`); the contents are one
-/// JSON object plus a trailing newline, so revisions diff cleanly.
+/// JSON object plus a trailing newline, so revisions diff cleanly.  When
+/// the metrics registry is on (see [`enable_bench_metrics`]) and `report`
+/// is an object, a snapshot — simulation count, cache hits, trace-replay
+/// refills, and the rest of the run's counters and histograms — is
+/// embedded under a `"metrics"` key, so a trajectory file explains *why*
+/// its numbers moved, not just that they did.
 pub fn write_bench_report(file: &str, report: &serde::Value) {
+    let mut report = report.clone();
+    if acmp_obs::metrics_enabled() {
+        if let serde::Value::Object(fields) = &mut report {
+            fields.retain(|(k, _)| k != "metrics");
+            fields.push((
+                "metrics".to_string(),
+                acmp_obs::registry().snapshot().to_value(),
+            ));
+        }
+    }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join(file);

@@ -903,6 +903,7 @@ impl Core {
         if self.trace_pos == self.trace_buf.len() {
             self.trace_buf.clear();
             self.trace_pos = 0;
+            acmp_obs::count_trace_refill();
             if self.trace.next_records(&mut self.trace_buf, TRACE_BATCH) == 0 {
                 return None;
             }
