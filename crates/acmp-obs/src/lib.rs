@@ -101,6 +101,15 @@ pub mod names {
     pub const STORE_EXPORT: &str = "store.export";
     /// Span: importing a bundle.
     pub const STORE_IMPORT: &str = "store.import";
+    /// Span: building the secondary index (a catalog scan over record
+    /// values).
+    pub const STORE_INDEX_BUILD: &str = "store.index_build";
+    /// Span: answering one catalog query.
+    pub const STORE_QUERY: &str = "store.query";
+    /// Counter: individual record value fetches — store loads plus catalog
+    /// scans.  A warm `sweep query` must leave this at zero: the proof the
+    /// secondary index answered without touching segment values.
+    pub const STORE_VALUE_READS: &str = "store.value_reads";
     /// Counter: bytes appended to the store.
     pub const STORE_APPEND_BYTES: &str = "store.append_bytes";
     /// Counter: bytes written to export bundles.

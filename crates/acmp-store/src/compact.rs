@@ -17,9 +17,19 @@
 //! path, so it must not race *ordinary writers in other processes*: a
 //! sweep process concurrently appending to the same store would keep
 //! writing into an unlinked segment and lose those cached entries when it
-//! exits.  `sweep --compact` is a maintenance command; run it while no
+//! exits.  `sweep store compact` is a maintenance command; run it while no
 //! sweep is using the store, the same discipline any log-structured
-//! store's offline compaction expects.
+//! store's offline compaction expects.  (Readers holding a
+//! [`StoreSnapshot`](crate::StoreSnapshot) are safe regardless: snapshots
+//! pin open file handles, and an unlinked segment stays readable through
+//! them.)
+//!
+//! Compaction copies records byte-identically, so the content fingerprint
+//! the secondary indexes are validated against (see [`crate::index`]) is
+//! unchanged by it — a persisted index stays valid across a compact, and
+//! `sweep store compact` still rebuilds it afterwards so the on-disk index
+//! segment always reflects a single deterministic build of the current
+//! generation.
 
 use crate::segment::{SegmentName, SEGMENT_EXT, SEGMENT_TARGET_BYTES, TMP_EXT};
 use crate::store::{next_segment_seq, read_span, DiskStore, IndexEntry, Inner};
@@ -165,6 +175,7 @@ impl DiskStore {
                         segment: sealed.len(),
                         offset,
                         len: entry.len,
+                        crc: entry.crc,
                     },
                 );
                 live_bytes += entry.len;
@@ -270,29 +281,25 @@ pub fn is_segment_file_name(name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::design_point::DesignPoint;
-    use crate::job::JobKey;
-    use hpc_workloads::{Benchmark, GeneratorConfig};
+    use crate::RawKey;
     use std::path::Path;
 
     fn temp_root(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
-            "acmp-sweep-compact-test-{tag}-{}",
+            "acmp-store-compact-test-{tag}-{}",
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
 
-    fn keys(n: usize) -> Vec<JobKey> {
-        let generator = GeneratorConfig::small();
+    fn keys(n: usize) -> Vec<RawKey> {
         (1..=n)
             .map(|lb| {
-                JobKey::new(
-                    &generator,
-                    Benchmark::Cg,
-                    &DesignPoint::baseline().with_line_buffers(lb).unwrap(),
-                )
+                RawKey::new(format!(
+                    "{{\"generator\":{{\"seed\":7}},\"benchmark\":\"cg\",\
+                     \"design\":{{\"name\":\"lb{lb}\",\"sharing\":\"Private\"}}}}"
+                ))
             })
             .collect()
     }

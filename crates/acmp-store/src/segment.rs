@@ -37,7 +37,9 @@ pub const TMP_EXT: &str = "tmp";
 /// compaction can stream them.
 pub const SEGMENT_TARGET_BYTES: u64 = 8 * 1024 * 1024;
 
-/// Magic token opening an export bundle (`sweep --export-segments`).
+/// Magic token opening an export bundle (`sweep store export`).  The token
+/// predates the store's extraction into its own crate and is kept verbatim
+/// so bundles interchange across versions.
 pub const EXPORT_MAGIC: &str = "acmp-sweep-segments";
 
 /// Export bundle format version this binary reads and writes.
@@ -180,6 +182,10 @@ pub struct ScannedRecord {
     pub offset: u64,
     /// Length of the record line in bytes (without the newline).
     pub len: u64,
+    /// The record's verified value checksum — the content identity the
+    /// secondary-index fingerprint folds, so an overwrite that changes a
+    /// value without changing its length is still detected as staleness.
+    pub crc: u64,
 }
 
 /// Verifies one record line and recovers its canonical key without parsing
@@ -188,6 +194,13 @@ pub struct ScannedRecord {
 /// truncated or corrupted lines.
 #[must_use]
 pub fn scan_record(line: &str) -> Option<String> {
+    scan_record_parts(line).map(|(canonical, _, _)| canonical)
+}
+
+/// [`scan_record`], but yielding all three verified parts: the canonical
+/// key, the value checksum, and the raw value JSON slice.
+#[must_use]
+pub fn scan_record_parts(line: &str) -> Option<(String, u64, &str)> {
     let rest = line.strip_prefix("{\"key\":\"")?;
     let (canonical, consumed) = unescape_string_body(rest)?;
     let rest = &rest[consumed..];
@@ -204,7 +217,7 @@ pub fn scan_record(line: &str) -> Option<String> {
     if stable_hash::fnv1a(value.as_bytes()) != crc {
         return None;
     }
-    Some(canonical)
+    Some((canonical, crc, value))
 }
 
 /// Unescapes a JSON string body up to (not including) its closing quote.
@@ -257,11 +270,14 @@ pub fn scan_segment(bytes: &[u8]) -> Vec<ScannedRecord> {
     let mut offset = 0u64;
     for line in bytes.split_inclusive(|&b| b == b'\n') {
         let body = line.strip_suffix(b"\n").unwrap_or(line);
-        if let Some(canonical) = std::str::from_utf8(body).ok().and_then(scan_record) {
+        if let Some((canonical, crc, _)) =
+            std::str::from_utf8(body).ok().and_then(scan_record_parts)
+        {
             records.push(ScannedRecord {
                 canonical,
                 offset,
                 len: body.len() as u64,
+                crc,
             });
         }
         offset += line.len() as u64;

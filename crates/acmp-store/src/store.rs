@@ -3,7 +3,7 @@
 //! Results (and trace sets) are packed into append-only **segment files**
 //! (see [`crate::segment`]) under the store directory (default
 //! `target/sweep-cache/`).  A later run — any process, any worker count —
-//! that derives the same [`JobKey`](crate::JobKey) is served from disk
+//! that derives the same [`StoreKey`](crate::StoreKey) is served from disk
 //! instead of re-simulating, which turns repeated figure runs into warm
 //! starts.
 //!
@@ -33,8 +33,8 @@
 //! [`open_limited`](DiskStore::open_limited) evicts generations beyond a
 //! configured bound at open, so the directory's growth stays bounded.
 
-use crate::job::JobKey;
 use crate::segment::{self, SegmentName, SEGMENT_TARGET_BYTES, TMP_EXT};
+use crate::StoreKey;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
@@ -42,6 +42,14 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+/// How far in the past a directory mtime must be before
+/// [`refresh`](DiskStore::refresh) trusts it as a change detector: within
+/// this margin a concurrent publish could land in the same timestamp
+/// granule as the listing and stay invisible, so recent listings are never
+/// cached.
+const DIR_MTIME_TRUST_MARGIN: Duration = Duration::from_secs(2);
 
 /// Counters describing how a store behaved over its lifetime, plus a
 /// snapshot of its current contents.
@@ -83,6 +91,9 @@ pub(crate) struct IndexEntry {
     pub(crate) segment: usize,
     pub(crate) offset: u64,
     pub(crate) len: u64,
+    /// The record's verified value checksum — folded into the secondary
+    /// index fingerprint so value changes read as staleness.
+    pub(crate) crc: u64,
 }
 
 /// The active append target of this store handle.
@@ -106,6 +117,12 @@ pub(crate) struct Inner {
     pub(crate) generation: u64,
     /// Total bytes of live records.
     pub(crate) live_bytes: u64,
+    /// The store directory's mtime as of the last full listing, when old
+    /// enough to trust (see [`DIR_MTIME_TRUST_MARGIN`]).  Segment files are
+    /// only ever created, renamed or deleted — all of which touch the
+    /// directory mtime — so an unchanged mtime lets a refresh skip the
+    /// whole re-listing.
+    pub(crate) dir_seen: Option<SystemTime>,
 }
 
 /// An on-disk key → value store addressed by stable content hash, packed
@@ -219,7 +236,7 @@ impl DiskStore {
     /// grid still needs can rely on the answer.  Does not touch the
     /// hit/miss counters.
     #[must_use]
-    pub fn contains(&self, key: &JobKey) -> bool {
+    pub fn contains(&self, key: &dyn StoreKey) -> bool {
         let inner = self.inner.lock();
         inner
             .index
@@ -235,7 +252,7 @@ impl DiskStore {
     /// segment file since this handle last scanned the directory, and the
     /// retry turns what would have been a redundant re-simulation (or trace
     /// regeneration) into a hit.
-    pub fn load<V: Deserialize>(&self, key: &JobKey) -> Option<V> {
+    pub fn load<V: Deserialize>(&self, key: &dyn StoreKey) -> Option<V> {
         let mut loaded = self.try_load(key);
         if loaded.is_none() && self.refresh() > 0 {
             loaded = self.try_load(key);
@@ -253,18 +270,29 @@ impl DiskStore {
     /// many new segment files were indexed.  Newly discovered records
     /// override older index entries exactly as an open's replay would.
     ///
-    /// Called automatically when a [`load`](Self::load) misses; the cost is
-    /// one directory listing per miss (plus a scan of whatever is new),
-    /// which is noise next to the simulation the miss would otherwise
-    /// trigger.  [`contains`](Self::contains) deliberately stays
-    /// index-only: schedulers probe it per cell while planning, and the
-    /// load path re-checks the directory anyway.
+    /// Called automatically when a [`load`](Self::load) misses.  The
+    /// re-listing is incremental: the directory's mtime is remembered after
+    /// every full listing (segment publishes always touch it), so a miss
+    /// against an unchanged directory costs one `stat` instead of a full
+    /// walk, and already-folded segment files are never re-read either way.
+    /// [`contains`](Self::contains) deliberately stays index-only:
+    /// schedulers probe it per cell while planning, and the load path
+    /// re-checks the directory anyway.
     pub fn refresh(&self) -> usize {
         let mut span = acmp_obs::span!(acmp_obs::names::STORE_REFRESH);
         let mut inner = self.inner.lock();
+        let modified = std::fs::metadata(&self.root)
+            .and_then(|m| m.modified())
+            .ok();
+        if inner.dir_seen.is_some() && inner.dir_seen == modified {
+            span.record_field("segments_indexed", 0u64);
+            span.record_field("listing_skipped", 1u64);
+            return 0;
+        }
         let Ok(found) = segment::list_segments(&self.root) else {
             return 0;
         };
+        inner.dir_seen = trusted_dir_mtime(modified, SystemTime::now());
         let known: std::collections::HashSet<&Path> =
             inner.segments.iter().map(PathBuf::as_path).collect();
         let fresh: Vec<(SegmentName, PathBuf)> = found
@@ -281,7 +309,7 @@ impl DiskStore {
         indexed
     }
 
-    fn try_load<V: Deserialize>(&self, key: &JobKey) -> Option<V> {
+    fn try_load<V: Deserialize>(&self, key: &dyn StoreKey) -> Option<V> {
         let (path, offset, len) = {
             let inner = self.inner.lock();
             let entry = inner.index.get(&key.digest())?;
@@ -294,6 +322,7 @@ impl DiskStore {
                 entry.len,
             )
         };
+        acmp_obs::counter!(acmp_obs::names::STORE_VALUE_READS, 1);
         let text = read_span(&path, offset, len).ok()?;
         let envelope: Value = serde_json::from_str(&text).ok()?;
         let fields = envelope.as_object()?;
@@ -313,7 +342,7 @@ impl DiskStore {
     /// Returns the I/O or serialisation error; callers may treat a failed
     /// store write as non-fatal (the result is still in memory).  A failed
     /// append is truncated away, so it cannot be observed by later opens.
-    pub fn save<V: Serialize>(&self, key: &JobKey, value: &V) -> Result<(), serde::Error> {
+    pub fn save<V: Serialize>(&self, key: &dyn StoreKey, value: &V) -> Result<(), serde::Error> {
         let value_json = serde_json::to_string(value)?;
         let mut line = segment::encode_record(key.canonical(), &value_json);
         line.push('\n');
@@ -360,11 +389,15 @@ impl DiskStore {
             return Err(e);
         }
         let record_len = line.len() as u64 - 1;
+        let crc = segment::scan_record_parts(line.trim_end_matches('\n'))
+            .map(|(_, crc, _)| crc)
+            .unwrap_or(0);
         let entry = IndexEntry {
             canonical: canonical.to_string(),
             segment,
             offset,
             len: record_len,
+            crc,
         };
         let digest = crate::stable_hash::fnv1a(canonical.as_bytes());
         if let Some(old) = inner.index.insert(digest, entry) {
@@ -638,6 +671,7 @@ fn index_segment_file(inner: &mut Inner, name: SegmentName, path: PathBuf) -> bo
             segment: segment_id,
             offset: record.offset,
             len: record.len,
+            crc: record.crc,
         };
         if let Some(old) = inner.index.insert(digest, entry) {
             inner.live_bytes -= old.len;
@@ -645,6 +679,17 @@ fn index_segment_file(inner: &mut Inner, name: SegmentName, path: PathBuf) -> bo
         inner.live_bytes += record.len;
     }
     true
+}
+
+/// Filters a just-observed directory mtime down to one safe to cache as a
+/// change detector: only an mtime the clock has certainly advanced past is
+/// trusted, because a publish landing in the same timestamp granule as the
+/// listing would otherwise compare equal and stay invisible forever.
+fn trusted_dir_mtime(modified: Option<SystemTime>, now: SystemTime) -> Option<SystemTime> {
+    modified.filter(|m| {
+        now.duration_since(*m)
+            .is_ok_and(|age| age >= DIR_MTIME_TRUST_MARGIN)
+    })
 }
 
 /// The replay-order identity of an indexed segment file, parsed back from
@@ -667,13 +712,12 @@ pub(crate) fn read_span(path: &Path, offset: u64, len: u64) -> std::io::Result<S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::design_point::DesignPoint;
     use crate::segment::{EXPORT_MAGIC as SEGMENT_EXPORT_MAGIC, SEGMENT_EXT};
-    use hpc_workloads::{Benchmark, GeneratorConfig};
+    use crate::RawKey;
 
     fn temp_root(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
-            "acmp-sweep-store-test-{tag}-{}",
+            "acmp-store-store-test-{tag}-{}",
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
@@ -684,12 +728,13 @@ mod tests {
         DiskStore::open(temp_root(tag)).expect("temp store")
     }
 
-    fn key(benchmark: Benchmark) -> JobKey {
-        JobKey::new(
-            &GeneratorConfig::small(),
-            benchmark,
-            &DesignPoint::baseline(),
-        )
+    /// A result-shaped canonical key, as the sweep engine's `JobKey` mints
+    /// them — the store itself only sees [`StoreKey`]s.
+    fn key(benchmark: &str) -> RawKey {
+        RawKey::new(format!(
+            "{{\"generator\":{{\"seed\":7}},\"benchmark\":\"{benchmark}\",\
+             \"design\":{{\"name\":\"baseline\",\"sharing\":\"Private\"}}}}"
+        ))
     }
 
     fn segment_files(root: &Path) -> Vec<String> {
@@ -705,7 +750,7 @@ mod tests {
     #[test]
     fn save_then_load_round_trips() {
         let store = temp_store("roundtrip");
-        let k = key(Benchmark::Cg);
+        let k = key("cg");
         assert_eq!(store.load::<Vec<u64>>(&k), None);
         store.save(&k, &vec![1u64, 2, 3]).unwrap();
         assert!(store.contains(&k));
@@ -719,7 +764,7 @@ mod tests {
     #[test]
     fn entries_survive_reopening() {
         let store = temp_store("reopen");
-        let k = key(Benchmark::Lu);
+        let k = key("lu");
         store.save(&k, &7u64).unwrap();
         let reopened = DiskStore::open(store.root().to_path_buf()).unwrap();
         assert!(reopened.contains(&k));
@@ -731,14 +776,9 @@ mod tests {
     #[test]
     fn many_entries_pack_into_one_segment() {
         let store = temp_store("pack");
-        let generator = GeneratorConfig::small();
-        let mut designs = Vec::new();
-        for lb in 1..=50 {
-            designs.push(DesignPoint::baseline().with_line_buffers(lb).unwrap());
-        }
-        for (i, d) in designs.iter().enumerate() {
-            let k = JobKey::new(&generator, Benchmark::Cg, d);
-            store.save(&k, &(i as u64)).unwrap();
+        let keys: Vec<RawKey> = (1..=50).map(|lb| key(&format!("cg-lb{lb}"))).collect();
+        for (i, k) in keys.iter().enumerate() {
+            store.save(k, &(i as u64)).unwrap();
         }
         assert_eq!(store.stats().entries, 50);
         assert_eq!(
@@ -746,9 +786,8 @@ mod tests {
             1,
             "small entries must share one segment file"
         );
-        for (i, d) in designs.iter().enumerate() {
-            let k = JobKey::new(&generator, Benchmark::Cg, d);
-            assert_eq!(store.load::<u64>(&k), Some(i as u64));
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(store.load::<u64>(k), Some(i as u64));
         }
     }
 
@@ -757,8 +796,8 @@ mod tests {
         let root = temp_root("corrupt");
         {
             let store = DiskStore::open(&root).unwrap();
-            store.save(&key(Benchmark::Ep), &1u64).unwrap();
-            store.save(&key(Benchmark::Lu), &2u64).unwrap();
+            store.save(&key("ep"), &1u64).unwrap();
+            store.save(&key("lu"), &2u64).unwrap();
         }
         // Corrupt the first record's value bytes in place (same length, so
         // the second record's span is untouched).
@@ -771,19 +810,19 @@ mod tests {
 
         let store = DiskStore::open(&root).unwrap();
         // The corrupted record fails its checksum at open: not indexed.
-        assert!(!store.contains(&key(Benchmark::Ep)));
-        assert_eq!(store.load::<u64>(&key(Benchmark::Ep)), None);
+        assert!(!store.contains(&key("ep")));
+        assert_eq!(store.load::<u64>(&key("ep")), None);
         // Its intact neighbour is unaffected.
-        assert_eq!(store.load::<u64>(&key(Benchmark::Lu)), Some(2));
+        assert_eq!(store.load::<u64>(&key("lu")), Some(2));
     }
 
     #[test]
     fn distinct_keys_use_distinct_entries() {
         let store = temp_store("distinct");
-        store.save(&key(Benchmark::Cg), &1u64).unwrap();
-        store.save(&key(Benchmark::Lu), &2u64).unwrap();
-        assert_eq!(store.load::<u64>(&key(Benchmark::Cg)), Some(1));
-        assert_eq!(store.load::<u64>(&key(Benchmark::Lu)), Some(2));
+        store.save(&key("cg"), &1u64).unwrap();
+        store.save(&key("lu"), &2u64).unwrap();
+        assert_eq!(store.load::<u64>(&key("cg")), Some(1));
+        assert_eq!(store.load::<u64>(&key("lu")), Some(2));
         assert_eq!(store.stats().entries, 2);
     }
 
@@ -793,7 +832,7 @@ mod tests {
         // file from (key, pid), so two threads saving the same key raced —
         // one renamed while the other was mid-write, publishing torn bytes.
         let store = temp_store("same-key-race");
-        let k = key(Benchmark::Cg);
+        let k = key("cg");
         std::thread::scope(|scope| {
             for t in 0..8u64 {
                 let store = &store;
@@ -824,7 +863,7 @@ mod tests {
     #[test]
     fn overwrites_keep_only_the_newest_value_live() {
         let store = temp_store("overwrite");
-        let k = key(Benchmark::Cg);
+        let k = key("cg");
         store.save(&k, &1u64).unwrap();
         let bytes_after_first = store.stats().live_bytes;
         store.save(&k, &2u64).unwrap();
@@ -846,29 +885,29 @@ mod tests {
         // Session 1 writes k1 into generation 1.
         {
             let store = DiskStore::open(&root).unwrap();
-            store.save(&key(Benchmark::Cg), &1u64).unwrap();
+            store.save(&key("cg"), &1u64).unwrap();
         }
         // Session 2 writes k2 into generation 2.
         {
             let store = DiskStore::open(&root).unwrap();
-            store.save(&key(Benchmark::Lu), &2u64).unwrap();
+            store.save(&key("lu"), &2u64).unwrap();
         }
         // A bounded open keeps only the newest generation: k1 is evicted,
         // k2 survives, and the old segment file is gone from disk.
         let store = DiskStore::open_limited(&root, Some(1)).unwrap();
-        assert_eq!(store.load::<u64>(&key(Benchmark::Cg)), None);
-        assert_eq!(store.load::<u64>(&key(Benchmark::Lu)), Some(2));
+        assert_eq!(store.load::<u64>(&key("cg")), None);
+        assert_eq!(store.load::<u64>(&key("lu")), Some(2));
         assert_eq!(store.stats().evicted, 1);
         assert_eq!(segment_files(&root).len(), 1);
         // An unbounded open never evicts.
         let root2 = temp_root("evict-unbounded");
         {
             let store = DiskStore::open(&root2).unwrap();
-            store.save(&key(Benchmark::Cg), &1u64).unwrap();
+            store.save(&key("cg"), &1u64).unwrap();
         }
         let store = DiskStore::open(&root2).unwrap();
         assert_eq!(store.stats().evicted, 0);
-        assert_eq!(store.load::<u64>(&key(Benchmark::Cg)), Some(1));
+        assert_eq!(store.load::<u64>(&key("cg")), Some(1));
     }
 
     #[test]
@@ -880,17 +919,17 @@ mod tests {
         let root = temp_root("two-handles");
         let a = DiskStore::open(&root).unwrap();
         let b = DiskStore::open(&root).unwrap();
-        a.save(&key(Benchmark::Cg), &1u64).unwrap();
-        b.save(&key(Benchmark::Lu), &2u64).unwrap();
-        a.save(&key(Benchmark::Ep), &3u64).unwrap();
+        a.save(&key("cg"), &1u64).unwrap();
+        b.save(&key("lu"), &2u64).unwrap();
+        a.save(&key("ep"), &3u64).unwrap();
         assert_eq!(segment_files(&root).len(), 2, "one segment per handle");
-        assert_eq!(a.load::<u64>(&key(Benchmark::Cg)), Some(1));
-        assert_eq!(a.load::<u64>(&key(Benchmark::Ep)), Some(3));
-        assert_eq!(b.load::<u64>(&key(Benchmark::Lu)), Some(2));
+        assert_eq!(a.load::<u64>(&key("cg")), Some(1));
+        assert_eq!(a.load::<u64>(&key("ep")), Some(3));
+        assert_eq!(b.load::<u64>(&key("lu")), Some(2));
         // A fresh open sees all three entries from both files.
         let merged = DiskStore::open(&root).unwrap();
         assert_eq!(merged.stats().entries, 3);
-        assert_eq!(merged.load::<u64>(&key(Benchmark::Lu)), Some(2));
+        assert_eq!(merged.load::<u64>(&key("lu")), Some(2));
     }
 
     #[test]
@@ -902,10 +941,66 @@ mod tests {
         let root = temp_root("refresh-load");
         let reader = DiskStore::open(&root).unwrap();
         let writer = DiskStore::open(&root).unwrap();
-        writer.save(&key(Benchmark::Cg), &7u64).unwrap();
-        assert_eq!(reader.load::<u64>(&key(Benchmark::Cg)), Some(7));
+        writer.save(&key("cg"), &7u64).unwrap();
+        assert_eq!(reader.load::<u64>(&key("cg")), Some(7));
         let stats = reader.stats();
         assert_eq!((stats.hits, stats.misses), (1, 0), "refresh makes it a hit");
+    }
+
+    #[test]
+    fn dir_mtimes_are_trusted_only_past_the_margin() {
+        let now = SystemTime::now();
+        let old = now - Duration::from_secs(60);
+        let recent = now - Duration::from_millis(500);
+        let future = now + Duration::from_secs(60);
+        assert_eq!(trusted_dir_mtime(Some(old), now), Some(old));
+        assert_eq!(
+            trusted_dir_mtime(Some(recent), now),
+            None,
+            "same-granule publishes could still be invisible"
+        );
+        assert_eq!(trusted_dir_mtime(Some(future), now), None);
+        assert_eq!(trusted_dir_mtime(None, now), None);
+    }
+
+    #[test]
+    fn refresh_skips_the_walk_when_the_directory_mtime_is_unchanged() {
+        let root = temp_root("refresh-skip");
+        let store = DiskStore::open(&root).unwrap();
+        store.save(&key("cg"), &1u64).unwrap();
+        // Backdate the directory past the trust margin so this refresh
+        // caches its mtime after walking.
+        let past = SystemTime::now() - Duration::from_secs(600);
+        set_dir_mtime(&root, past);
+        assert_eq!(store.refresh(), 0, "own segment is already indexed");
+        // A foreign writer publishes a segment; pinning the directory
+        // mtime back to the cached value makes the store's stat conclude
+        // "unchanged", so the refresh skips the walk entirely and the new
+        // segment stays invisible.
+        let writer = DiskStore::open(&root).unwrap();
+        writer.save(&key("lu"), &2u64).unwrap();
+        set_dir_mtime(&root, past);
+        assert_eq!(store.refresh(), 0);
+        assert!(!store.contains(&key("lu")));
+        // Any mtime change re-arms the walk and the segment is folded in.
+        set_dir_mtime(&root, past + Duration::from_secs(30));
+        assert_eq!(store.refresh(), 1);
+        assert!(store.contains(&key("lu")));
+    }
+
+    /// Pins a directory's mtime to a whole-second epoch value.
+    fn set_dir_mtime(dir: &Path, when: SystemTime) {
+        let secs = when
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .expect("test times are past the epoch")
+            .as_secs();
+        let status = std::process::Command::new("touch")
+            .arg("-d")
+            .arg(format!("@{secs}"))
+            .arg(dir)
+            .status()
+            .expect("touch is available");
+        assert!(status.success());
     }
 
     #[test]
@@ -913,12 +1008,12 @@ mod tests {
         let root = temp_root("refresh-contains");
         let reader = DiskStore::open(&root).unwrap();
         let writer = DiskStore::open(&root).unwrap();
-        writer.save(&key(Benchmark::Lu), &1u64).unwrap();
+        writer.save(&key("lu"), &1u64).unwrap();
         // `contains` answers from the index only; a stale view reads
         // absent until an explicit (or load-triggered) refresh.
-        assert!(!reader.contains(&key(Benchmark::Lu)));
+        assert!(!reader.contains(&key("lu")));
         assert_eq!(reader.refresh(), 1);
-        assert!(reader.contains(&key(Benchmark::Lu)));
+        assert!(reader.contains(&key("lu")));
         // Nothing new: a second refresh is a no-op.
         assert_eq!(reader.refresh(), 0);
     }
@@ -932,42 +1027,42 @@ mod tests {
         let reader = DiskStore::open(&root).unwrap();
         {
             let seeder = DiskStore::open(&root).unwrap();
-            seeder.save(&key(Benchmark::Ep), &0u64).unwrap();
+            seeder.save(&key("ep"), &0u64).unwrap();
         }
         // Opened after generation 1 has a segment: appends to generation 2.
         let newer = DiskStore::open(&root).unwrap();
-        newer.save(&key(Benchmark::Cg), &2u64).unwrap();
-        assert_eq!(reader.load::<u64>(&key(Benchmark::Cg)), Some(2));
+        newer.save(&key("cg"), &2u64).unwrap();
+        assert_eq!(reader.load::<u64>(&key("cg")), Some(2));
 
         // The stale handle now writes the same key into generation 1.  A
         // fresh open replays generation 1 *before* generation 2, so the
         // generation-2 record must keep winning — including in the
         // reader's refreshed view, even though it discovers the
         // generation-1 segment last.
-        stale.save(&key(Benchmark::Cg), &1u64).unwrap();
+        stale.save(&key("cg"), &1u64).unwrap();
         assert_eq!(reader.refresh(), 1);
-        assert_eq!(reader.load::<u64>(&key(Benchmark::Cg)), Some(2));
+        assert_eq!(reader.load::<u64>(&key("cg")), Some(2));
         let fresh = DiskStore::open(&root).unwrap();
-        assert_eq!(fresh.load::<u64>(&key(Benchmark::Cg)), Some(2));
+        assert_eq!(fresh.load::<u64>(&key("cg")), Some(2));
     }
 
     #[test]
     fn export_import_round_trips_between_stores() {
         // Machine A's warm store, exported and imported into machine B's.
         let a = temp_store("export-a");
-        a.save(&key(Benchmark::Cg), &vec![1u64, 2]).unwrap();
-        a.save(&key(Benchmark::Lu), &vec![3u64]).unwrap();
+        a.save(&key("cg"), &vec![1u64, 2]).unwrap();
+        a.save(&key("lu"), &vec![3u64]).unwrap();
         let mut bundle = Vec::new();
         assert_eq!(a.export_segments(&mut bundle).unwrap(), 2);
 
         let b = temp_store("export-b");
-        b.save(&key(Benchmark::Lu), &vec![3u64]).unwrap(); // overlap
+        b.save(&key("lu"), &vec![3u64]).unwrap(); // overlap
         let stats = b.import_segments(std::io::Cursor::new(&bundle)).unwrap();
         assert_eq!(stats.records, 2);
         assert_eq!(stats.imported, 1, "only the missing key is appended");
         assert_eq!(stats.skipped, 1, "the live key is never overridden");
-        assert_eq!(b.load::<Vec<u64>>(&key(Benchmark::Cg)), Some(vec![1, 2]));
-        assert_eq!(b.load::<Vec<u64>>(&key(Benchmark::Lu)), Some(vec![3]));
+        assert_eq!(b.load::<Vec<u64>>(&key("cg")), Some(vec![1, 2]));
+        assert_eq!(b.load::<Vec<u64>>(&key("lu")), Some(vec![3]));
 
         // Idempotent: importing the same bundle again appends nothing.
         let again = b.import_segments(std::io::Cursor::new(&bundle)).unwrap();
@@ -976,10 +1071,7 @@ mod tests {
         // The imported records survive a fresh verified open.
         let reopened = DiskStore::open(b.root().to_path_buf()).unwrap();
         assert_eq!(reopened.stats().entries, 2);
-        assert_eq!(
-            reopened.load::<Vec<u64>>(&key(Benchmark::Cg)),
-            Some(vec![1, 2])
-        );
+        assert_eq!(reopened.load::<Vec<u64>>(&key("cg")), Some(vec![1, 2]));
     }
 
     #[test]
@@ -987,8 +1079,8 @@ mod tests {
         let a = temp_store("export-det-a");
         let b = temp_store("export-det-b");
         for store in [&a, &b] {
-            store.save(&key(Benchmark::Cg), &7u64).unwrap();
-            store.save(&key(Benchmark::Ep), &9u64).unwrap();
+            store.save(&key("cg"), &7u64).unwrap();
+            store.save(&key("ep"), &9u64).unwrap();
         }
         let (mut ba, mut bb) = (Vec::new(), Vec::new());
         a.export_segments(&mut ba).unwrap();
@@ -999,8 +1091,8 @@ mod tests {
     #[test]
     fn damaged_bundles_import_nothing() {
         let a = temp_store("import-damage-src");
-        a.save(&key(Benchmark::Cg), &1u64).unwrap();
-        a.save(&key(Benchmark::Lu), &2u64).unwrap();
+        a.save(&key("cg"), &1u64).unwrap();
+        a.save(&key("lu"), &2u64).unwrap();
         let mut bundle = Vec::new();
         a.export_segments(&mut bundle).unwrap();
         let text = String::from_utf8(bundle).unwrap();

@@ -14,6 +14,8 @@
 //! sweep store import warm.bundle             # …and absorb it there
 //! sweep store compact                        # merge the store into one generation
 //! sweep store stats                          # inspect the store, run nothing
+//! sweep query benchmark=cg --by cycles --top 3   # rank cached results
+//! sweep query family=worker-shared 'cycles<=1e6' --by worker_icache.misses
 //! ```
 //!
 //! The pre-subcommand grammar — the same options as top-level flags, plus
@@ -52,13 +54,25 @@
 //! `--import-segments` are maintenance modes: they operate on the store
 //! named by `--cache-dir` (or the default) and exit without running a
 //! grid.
+//!
+//! `sweep query` answers **from the store alone** — no grid, no engine, no
+//! simulation.  Filters conjoin facet equalities (`benchmark=cg`,
+//! `family=worker-shared`, `design=NAME`, `scale=HEX`) with metric
+//! comparisons (`cycles<=1e6`); `--by METRIC` ranks the survivors and
+//! `--top K` cuts the list.  The first query over a store builds and
+//! persists the secondary index; every later query answers straight from
+//! it with **zero segment value reads**, which `--metrics-out` proves via
+//! the `store.value_reads` counter.
 
 use acmp_sweep::manifest::{scale_generator, SweepManifest};
 use acmp_sweep::merge::{
     merge_shard_streams, merge_validated, shard_key_schedule, validate_shard_stream, MergeError,
 };
 use acmp_sweep::scheduler::split_worker_budget;
-use acmp_sweep::{DiskStore, GridSpec, JobKey, ShardSpec, SweepEngine, WorkStealingPool};
+use acmp_sweep::{
+    Catalog, CatalogSource, DiskStore, GridSpec, JobKey, Query, ShardSpec, SweepEngine,
+    WorkStealingPool,
+};
 use hpc_workloads::GeneratorConfig;
 use std::io::Write;
 use std::path::PathBuf;
@@ -68,6 +82,7 @@ usage: sweep run   [options]                 run a grid, or one shard of it
        sweep plan  FILE [options]            sign a multi-machine shard manifest
        sweep merge --manifest plan.json [--out FILE] shard-1.jsonl … shard-N.jsonl
        sweep store compact|stats|export FILE|import FILE [--cache-dir DIR]
+       sweep query [FILTER …] --by METRIC [--top K] [--desc] [--cache-dir DIR]
        sweep trace report TRACE.jsonl [--metrics FILE.json] [--top K]
        sweep [options]                       (deprecated alias grammar, see below)
 
@@ -99,9 +114,14 @@ run options:
 
 store subcommands (all honour --cache-dir):
   compact             merge the store's live entries into one generation
-  stats               print store contents (entries/segments/bytes)
+                      (and rebuild the persisted query index, if any)
+  stats               print store contents and secondary-index statistics
   export FILE         write every live record to FILE as a verified bundle
   import FILE         absorb a bundle exported elsewhere (local keys win)
+
+query filters (conjunctive; see `sweep query --help`):
+  benchmark=cg  family=private|worker-shared|all-shared  design=NAME
+  scale=HEX16   METRIC<=N  METRIC>=N  METRIC<N  METRIC>N
 
 deprecated aliases: the run options work without the `run` subcommand, and
   --plan FILE / --compact / --cache-stats / --export-segments FILE /
@@ -113,10 +133,41 @@ design specs: baseline proposed all-shared all-shared-single worker-shared-32k
 const STORE_USAGE: &str = "\
 usage: sweep store compact|stats|export FILE|import FILE [--cache-dir DIR]
   compact             merge the store's live entries into one generation
-  stats               print store contents (entries/segments/bytes)
+                      (and rebuild the persisted query index, if any)
+  stats               print store contents (entries/segments/bytes) and
+                      secondary-index statistics (files/rows/postings/buckets
+                      and whether the index is fresh or stale)
   export FILE         write every live record to FILE as a verified bundle
   import FILE         absorb a bundle exported elsewhere (local keys win)
   --cache-dir DIR     the store to operate on (default: target/sweep-cache)";
+
+const QUERY_USAGE: &str = "\
+usage: sweep query [FILTER …] --by METRIC [--top K] [--desc] [--cache-dir DIR]
+                   [--out FILE] [--trace-out FILE] [--metrics-out FILE] [--quiet]
+  Ranks the store's cached results without running anything.  Filters are
+  conjunctive, one per argument:
+    benchmark=cg            facet equality (case-insensitive); the facets
+    family=worker-shared    are benchmark, family (private | worker-shared |
+    design=NAME             all-shared), design and scale (the 16-hex
+    scale=HEX16             generator digest printed in the rows)
+    METRIC<=N  METRIC>=N    metric comparison against a finite number;
+    METRIC<N   METRIC>N     metrics use flattened dotted names, e.g.
+                            cycles, worker_icache.misses, bus.transactions
+  Hits stream as JSONL (key, benchmark, family, design, metric, value) in
+  ranked order: ascending by --by METRIC (--desc flips), key digest breaks
+  ties, --top K cuts the list.  Rows lacking the metric are excluded.
+  The first query over a store builds and persists the secondary index;
+  later queries (and queries after `store compact`) answer from it with
+  zero segment value reads — observable as the absence of the
+  store.value_reads counter in --metrics-out.
+  --by METRIC       the ranking metric (required)
+  --top K           keep only the best K hits
+  --desc            rank descending
+  --out FILE        write JSONL hits to FILE        (default: stdout)
+  --cache-dir DIR   the store to query              (default: target/sweep-cache)
+  --trace-out FILE  structured JSONL event trace of the query
+  --metrics-out FILE  aggregated counters (schema acmp-obs-metrics/v1)
+  --quiet           suppress the stderr summary";
 
 const TRACE_USAGE: &str = "\
 usage: sweep trace report TRACE.jsonl [--metrics FILE.json] [--top K]
@@ -525,6 +576,7 @@ fn main() {
             run_plan(&opts, &file);
         }
         Some("store") => run_store(&args[1..]),
+        Some("query") => run_query(&args[1..]),
         Some("trace") => run_trace(&args[1..]),
         // Deprecated alias grammar: the run/plan/store options as bare
         // top-level flags.  Kept silently working so existing scripts and
@@ -613,6 +665,141 @@ fn run_store(args: &[String]) {
     run_maintenance(&opts);
 }
 
+/// `sweep query [FILTER …] --by METRIC [--top K] [--desc] …` — rank cached
+/// results straight from the store's catalog, simulating nothing.
+fn run_query(args: &[String]) {
+    let mut filters: Vec<String> = Vec::new();
+    let mut by: Option<String> = None;
+    let mut top: Option<usize> = None;
+    let mut descending = false;
+    let mut out: Option<String> = None;
+    let mut opts = parse_or_die(&[]);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("sweep query: {name} needs a value\n\n{QUERY_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--by" => by = Some(value("--by")),
+            "--top" => {
+                let v = value("--top");
+                top = Some(v.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("sweep query: bad --top `{v}`\n\n{QUERY_USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--desc" => descending = true,
+            "--out" => out = Some(value("--out")),
+            "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                eprintln!("{QUERY_USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("sweep query: unknown option `{flag}`\n\n{QUERY_USAGE}");
+                std::process::exit(2);
+            }
+            filter => filters.push(filter.to_string()),
+        }
+    }
+    let Some(by) = by else {
+        eprintln!("sweep query: a ranking metric (--by METRIC) is required\n\n{QUERY_USAGE}");
+        std::process::exit(2);
+    };
+    let query = match Query::parse(&filters, &by, top, descending) {
+        Ok(q) => q,
+        Err(msg) => {
+            eprintln!("sweep query: {msg}\n\n{QUERY_USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    // Sinks on before the store opens, so index builds land in the trace.
+    enable_observability(&opts);
+    let root = cache_root(&opts);
+    let store = match DiskStore::open(&root) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("sweep: cannot open cache dir {}: {e}", root.display());
+            std::process::exit(1);
+        }
+    };
+    let catalog = match Catalog::open(&store) {
+        Ok(catalog) => catalog,
+        Err(e) => {
+            eprintln!(
+                "sweep query: cannot build catalog for {}: {e}",
+                root.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    // A scan-built catalog means no (fresh) persisted index existed; persist
+    // it so the next query — and the next process — answers warm.
+    if catalog.source() == CatalogSource::Scan && !catalog.rows().is_empty() {
+        if let Err(e) = catalog.persist(&store) {
+            eprintln!(
+                "sweep query: cannot persist index under {}: {e}",
+                root.display()
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let hits = catalog.query(&query);
+    let mut sink = open_sink(out.as_ref());
+    for hit in &hits {
+        let value = hit
+            .row
+            .metric(&query.by)
+            .cloned()
+            .unwrap_or(serde::Value::Float(hit.value));
+        let line = serde::Value::Object(vec![
+            ("key".to_string(), serde::Value::String(hit.row.key_hex())),
+            (
+                "benchmark".to_string(),
+                serde::Value::String(hit.row.benchmark.clone()),
+            ),
+            (
+                "family".to_string(),
+                serde::Value::String(hit.row.family.clone()),
+            ),
+            (
+                "design".to_string(),
+                serde::Value::String(hit.row.design.clone()),
+            ),
+            ("metric".to_string(), serde::Value::String(query.by.clone())),
+            ("value".to_string(), value),
+        ]);
+        if let Err(e) = writeln!(sink, "{line}") {
+            die_on_write_error(&e);
+        }
+    }
+    if let Err(e) = sink.flush() {
+        die_on_write_error(&e);
+    }
+    drop(sink);
+    if !opts.quiet {
+        let source = match catalog.source() {
+            CatalogSource::Index => "persisted index",
+            CatalogSource::Scan => "value scan (index persisted for next time)",
+        };
+        eprintln!(
+            "query {}: {} hits from {} rows via {source}",
+            root.display(),
+            hits.len(),
+            catalog.rows().len(),
+        );
+    }
+    write_obs_artifacts(&opts, Vec::new(), &[]);
+}
+
 /// Store maintenance modes: no grid, no engine.
 fn run_maintenance(opts: &Options) {
     let root = cache_root(opts);
@@ -639,6 +826,34 @@ fn run_maintenance(opts: &Options) {
             ),
             Err(e) => {
                 eprintln!("sweep: compaction of {} failed: {e}", root.display());
+                std::process::exit(1);
+            }
+        }
+        // Compaction copies records verbatim, so a persisted index's
+        // content fingerprint stays valid — but rewrite it anyway so the
+        // on-disk index is rebuilt deterministically alongside the new
+        // generation (and carries fresh row/posting data if it was stale).
+        match store.index_stats() {
+            Ok(istats) if istats.files > 0 => match Catalog::open(&store) {
+                Ok(catalog) => match catalog.persist(&store) {
+                    Ok(_) => println!(
+                        "rebuilt secondary index: {} rows, {} terms",
+                        catalog.rows().len(),
+                        catalog.terms(),
+                    ),
+                    Err(e) => {
+                        eprintln!("sweep: index rebuild under {} failed: {e}", root.display());
+                        std::process::exit(1);
+                    }
+                },
+                Err(e) => {
+                    eprintln!("sweep: index rebuild under {} failed: {e}", root.display());
+                    std::process::exit(1);
+                }
+            },
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("sweep: cannot inspect index under {}: {e}", root.display());
                 std::process::exit(1);
             }
         }
@@ -696,6 +911,21 @@ fn run_maintenance(opts: &Options) {
         stats.live_bytes,
         stats.evicted,
     );
+    match store.index_stats() {
+        Ok(istats) => println!(
+            "index {}: files {}, rows {}, postings {}, buckets {}, {}",
+            root.display(),
+            istats.files,
+            istats.rows,
+            istats.postings,
+            istats.buckets,
+            istats.status.label(),
+        ),
+        Err(e) => {
+            eprintln!("sweep: cannot inspect index under {}: {e}", root.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `--plan FILE`: sign and write a shard manifest, run nothing.

@@ -91,6 +91,18 @@ impl JobKey {
     }
 }
 
+/// Lets a `JobKey` address the store directly (its canonical form is the
+/// `{"generator":…}` shape the store's catalog recognises as a result key).
+impl acmp_store::StoreKey for JobKey {
+    fn canonical(&self) -> &str {
+        self.canonical()
+    }
+
+    fn digest(&self) -> u64 {
+        self.digest()
+    }
+}
+
 /// One slice of the job keyspace, for multi-process sweeps.
 ///
 /// Shards partition jobs by `digest % count`.  The digest is the stable

@@ -12,13 +12,15 @@
 //!   grids keep every core busy;
 //! * [`ShardedMap`] — the in-memory result cache, split across
 //!   independently locked shards instead of one global mutex;
-//! * [`DiskStore`] — a content-addressed on-disk store (stable hash of
+//! * [`DiskStore`] — the content-addressed on-disk store (stable hash of
 //!   generator config + benchmark + design point) that makes repeated runs
-//!   warm-start across processes.  Entries — simulation results *and*
-//!   per-benchmark trace sets — are packed into generational append-only
-//!   segment files ([`segment`]) indexed in memory at open, and
-//!   [`DiskStore::compact`] merges live entries into a fresh generation so
-//!   the store never grows unboundedly;
+//!   warm-start across processes.  The store itself — segment log, key
+//!   index, snapshots, catalog, secondary indexes, query planner — lives
+//!   in the [`acmp-store`](acmp_store) crate; this crate re-exports its
+//!   modules ([`store`], [`segment`], [`compact`], [`stable_hash`],
+//!   [`snapshot`], [`catalog`], [`index`], [`query`]) so engine code and
+//!   existing callers keep their paths, and implements
+//!   [`StoreKey`](acmp_store::StoreKey) for [`JobKey`];
 //! * [`SweepEngine`] — ties the three together behind
 //!   [`simulate`](SweepEngine::simulate) / [`run_grid`](SweepEngine::run_grid);
 //! * [`GridSpec`] — the `benchmarks × designs` spec grammar of the `sweep`
@@ -41,7 +43,6 @@
 //! here too, so the engine, the CLI and the spec grammar can name design
 //! points without depending on the figure layer above.
 
-pub mod compact;
 pub mod design_point;
 pub mod engine;
 pub mod grid;
@@ -49,12 +50,17 @@ pub mod job;
 pub mod manifest;
 pub mod merge;
 pub mod scheduler;
-pub mod segment;
 pub mod sharded;
-pub mod stable_hash;
-pub mod store;
 
-pub use compact::CompactStats;
+// The storage layers moved to the `acmp-store` crate; re-export its modules
+// under their historical paths so `crate::store::…` / `acmp_sweep::segment::…`
+// callers keep compiling unchanged.
+pub use acmp_store::{catalog, compact, index, query, segment, snapshot, stable_hash, store};
+
+pub use acmp_store::{
+    Catalog, CatalogSource, Cmp, CompactStats, DiskStore, Filter, ImportStats, IndexStats,
+    IndexStatus, Query, QueryHit, RawKey, ResultRow, StoreKey, StoreSnapshot, StoreStats,
+};
 pub use design_point::{DesignPoint, DesignPointError};
 pub use engine::{EngineStats, SweepEngine, SweepEngineBuilder, SweepOutcome, SweepRow};
 pub use grid::GridSpec;
@@ -63,7 +69,6 @@ pub use manifest::{scale_generator, SweepManifest};
 pub use merge::MergeError;
 pub use scheduler::{PoolStats, WorkStealingPool};
 pub use sharded::{relay_prefixed, ShardedMap};
-pub use store::{DiskStore, ImportStats, StoreStats};
 
 /// Everything a sweep caller needs in one `use`.
 ///

@@ -935,6 +935,216 @@ fn store_subcommand_covers_stats_compact_export_import() {
 }
 
 #[test]
+fn query_answers_from_the_index_with_zero_value_reads() {
+    let dir = temp_dir("query-warm");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().unwrap();
+    run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg,lu",
+        "--quiet",
+        "--cache-dir",
+        cache,
+    ]);
+
+    // First query: no index yet — builds it by scanning values (observable
+    // in the counter), persists it for everyone after.
+    let m1 = dir.join("m1.json");
+    let cold = run_sweep(&[
+        "query",
+        "benchmark=cg",
+        "--by",
+        "cycles",
+        "--cache-dir",
+        cache,
+        "--metrics-out",
+        m1.to_str().unwrap(),
+    ]);
+    assert_eq!(cold.stdout.lines().count(), 3, "{}", cold.stdout);
+    assert!(cold.stderr.contains("value scan"), "{}", cold.stderr);
+    let metrics = std::fs::read_to_string(&m1).unwrap();
+    assert!(
+        metrics.contains("\"store.value_reads\""),
+        "the cold query must have scanned segment values: {metrics}"
+    );
+
+    // Warm query: answered from the persisted index, zero value reads.
+    let m2 = dir.join("m2.json");
+    let warm = run_sweep(&[
+        "query",
+        "benchmark=cg",
+        "--by",
+        "cycles",
+        "--cache-dir",
+        cache,
+        "--metrics-out",
+        m2.to_str().unwrap(),
+    ]);
+    assert_eq!(warm.stdout, cold.stdout, "ranking must be deterministic");
+    assert!(warm.stderr.contains("persisted index"), "{}", warm.stderr);
+    let metrics = std::fs::read_to_string(&m2).unwrap();
+    assert!(
+        !metrics.contains("\"store.value_reads\""),
+        "a warm query must perform zero segment value reads: {metrics}"
+    );
+
+    // Compaction rewrites every segment; the rebuilt index must answer the
+    // same query byte-identically, still without touching values.
+    let compacted = run_sweep(&["store", "compact", "--cache-dir", cache]);
+    assert!(
+        compacted.stdout.contains("rebuilt secondary index"),
+        "{}",
+        compacted.stdout
+    );
+    let m3 = dir.join("m3.json");
+    let after = run_sweep(&[
+        "query",
+        "benchmark=cg",
+        "--by",
+        "cycles",
+        "--cache-dir",
+        cache,
+        "--metrics-out",
+        m3.to_str().unwrap(),
+    ]);
+    assert_eq!(after.stdout, cold.stdout);
+    let metrics = std::fs::read_to_string(&m3).unwrap();
+    assert!(!metrics.contains("\"store.value_reads\""), "{metrics}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_grammar_filters_rank_and_reject() {
+    let dir = temp_dir("query-grammar");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().unwrap();
+    run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--quiet",
+        "--cache-dir",
+        cache,
+    ]);
+
+    // Unfiltered, descending, top-1: exactly the worst cell, as one JSON
+    // object per line with the schema the docs promise.
+    let top = run_sweep(&[
+        "query",
+        "--by",
+        "cycles",
+        "--desc",
+        "--top",
+        "1",
+        "--cache-dir",
+        cache,
+        "--quiet",
+    ]);
+    assert_eq!(top.stdout.lines().count(), 1, "{}", top.stdout);
+    for field in [
+        "\"key\":",
+        "\"benchmark\":\"Cg\"",
+        "\"family\":",
+        "\"design\":",
+        "\"metric\":\"cycles\"",
+        "\"value\":",
+    ] {
+        assert!(top.stdout.contains(field), "{}", top.stdout);
+    }
+    assert_eq!(top.stderr, "", "--quiet must silence the summary");
+
+    // A metric comparison filter conjoins with facet equality.
+    let filtered = run_sweep(&[
+        "query",
+        "family=private",
+        "cycles>0",
+        "--by",
+        "cycles",
+        "--cache-dir",
+        cache,
+        "--quiet",
+    ]);
+    assert_eq!(filtered.stdout.lines().count(), 3, "{}", filtered.stdout);
+    let values: Vec<&str> = filtered
+        .stdout
+        .lines()
+        .map(|l| l.rsplit("\"value\":").next().unwrap())
+        .collect();
+    let mut sorted = values.clone();
+    sorted.sort_by(|a, b| {
+        let parse = |s: &&str| s.trim_end_matches('}').parse::<f64>().unwrap();
+        parse(a).total_cmp(&parse(b))
+    });
+    assert_eq!(values, sorted, "hits must rank ascending by the metric");
+
+    // Grammar violations exit with guidance, not a panic.
+    for bad in [
+        vec!["query", "cycles=5", "--by", "cycles"],
+        vec!["query", "benchmark=cg"],
+        vec!["query", "nonsense", "--by", "cycles"],
+    ] {
+        let output = Command::new(sweep_bin()).args(&bad).output().unwrap();
+        assert!(!output.status.success(), "{bad:?} must fail");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(stderr.contains("sweep query"), "{stderr}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_stats_reports_index_freshness() {
+    let dir = temp_dir("query-staleness");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().unwrap();
+    run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "cg",
+        "--quiet",
+        "--cache-dir",
+        cache,
+    ]);
+
+    // No index yet.
+    let stats = run_sweep(&["store", "stats", "--cache-dir", cache]);
+    assert!(stats.stdout.contains("index"), "{}", stats.stdout);
+    assert!(stats.stdout.contains("absent"), "{}", stats.stdout);
+
+    // A query persists the index; stats now reports it fresh.
+    run_sweep(&["query", "--by", "cycles", "--cache-dir", cache, "--quiet"]);
+    let stats = run_sweep(&["store", "stats", "--cache-dir", cache]);
+    assert!(stats.stdout.contains("fresh"), "{}", stats.stdout);
+
+    // New results land in the store: the persisted index is now stale
+    // relative to the key index, and stats says so.
+    run_sweep(&[
+        "run",
+        "--grid",
+        "fig09",
+        "--benchmarks",
+        "lu",
+        "--quiet",
+        "--cache-dir",
+        cache,
+    ]);
+    let stats = run_sweep(&["store", "stats", "--cache-dir", cache]);
+    assert!(stats.stdout.contains("stale"), "{}", stats.stdout);
+
+    // The next query rebuilds and re-persists: fresh again.
+    run_sweep(&["query", "--by", "cycles", "--cache-dir", cache, "--quiet"]);
+    let stats = run_sweep(&["store", "stats", "--cache-dir", cache]);
+    assert!(stats.stdout.contains("fresh"), "{}", stats.stdout);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn misused_subcommands_exit_with_guidance() {
     // `run` refuses maintenance and planning flags, pointing at the
     // dedicated subcommands.

@@ -17,6 +17,7 @@ use std::ops::Range;
 
 /// Everything a `proptest!` test needs in scope.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
         Strategy, TestRng,
@@ -89,7 +90,80 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(i32, i64, u32, u64, usize);
+impl_range_strategy!(i8, i32, i64, u8, u16, u32, u64, usize);
+
+// Tuples of strategies sample component-wise, so `(0u8..5, any::<u64>())`
+// is itself a strategy — the shape `prop::collection::vec` compositions
+// lean on.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3)
+);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        count: Range<usize>,
+    }
+
+    /// Samples `Vec`s whose length comes from `count` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, count: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, count }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.count.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::RngCore;
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    pub struct OptionStrategy<S>(S);
+
+    /// Samples `None` about a quarter of the time, `Some(inner)` otherwise
+    /// (the real proptest's default `of` weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
 
 /// Types with a canonical full-domain strategy.
 pub trait Arbitrary: Sized {
@@ -220,6 +294,16 @@ mod tests {
             // sampling path for `any` is exercised.
             prop_assert!(usize::from(b) <= 1);
             prop_assert_ne!(x, x.wrapping_add(1));
+        }
+
+        #[test]
+        fn composite_strategies_sample(
+            ops in collection::vec((0u8..5, any::<u64>()), 0..9),
+            maybe in option::of(1u32..4),
+        ) {
+            prop_assert!(ops.len() < 9);
+            prop_assert!(ops.iter().all(|(op, _)| *op < 5));
+            prop_assert!(maybe.is_none_or(|v| (1..4).contains(&v)));
         }
     }
 

@@ -92,7 +92,7 @@ macro_rules! impl_int_range {
     )*};
 }
 
-impl_int_range!(i32, i64, u32, u64, usize, isize);
+impl_int_range!(i8, i32, i64, u8, u16, u32, u64, usize, isize);
 
 impl SampleRange for Range<f64> {
     type Output = f64;
