@@ -1,0 +1,29 @@
+//@ path: crates/acmp-store/src/corpus_clean.rs
+// Clean fixture: storage-layer library code that honours every rule.
+// Expected diagnostics: none.
+
+pub fn live_fraction(live: u64, total: u64) -> f64 {
+    if total == 0 {
+        return 1.0;
+    }
+    live as f64 / total as f64
+}
+
+pub fn first_cell(cells: &[u64]) -> Option<u64> {
+    cells.first().copied()
+}
+
+pub fn log_progress(done: usize, total: usize) {
+    acmp_obs::logline!("[{done}/{total}] folded");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        assert_eq!(live_fraction(0, 0), 1.0);
+        assert_eq!(live_fraction(1, 2), 0.5);
+    }
+}

@@ -1,0 +1,20 @@
+//@ path: crates/acmp-store/src/corpus.rs
+// Known-bad fixture for `env-side-channel`: library code reading the
+// process environment.  Bins and examples are exempt (they parse CLI
+// options), as is test code.
+
+pub fn cache_dir() -> Option<String> {
+    std::env::var("ACMP_CACHE_DIR").ok()
+}
+
+pub fn sniff() -> bool {
+    std::env::var_os("ACMP_FAST_MODE").is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_is_fine_in_tests() {
+        let _ = std::env::var("HOME");
+    }
+}

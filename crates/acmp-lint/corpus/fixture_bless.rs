@@ -1,0 +1,29 @@
+//@ path: crates/core/tests/corpus_fixtures.rs
+// Known-bad fixture for `fixture-bless`: test code rewriting the golden
+// fixtures without the explicit UPDATE_FIXTURES bless gate.
+
+#[test]
+fn ungated_write_is_a_finding() {
+    let rows = render_rows();
+    std::fs::write("tests/fixtures/fig09.jsonl", rows).unwrap();
+}
+
+#[test]
+fn tainted_binding_is_a_finding_too() {
+    let path = std::path::Path::new("tests/fixtures").join("fig10.jsonl");
+    let rows = render_rows();
+    std::fs::write(path, rows).unwrap();
+}
+
+#[test]
+fn gated_bless_is_fine() {
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        std::fs::write("tests/fixtures/fig09.jsonl", render_rows()).unwrap();
+    }
+}
+
+#[test]
+fn reading_fixtures_is_fine() {
+    let rows = std::fs::read_to_string("tests/fixtures/fig09.jsonl").unwrap();
+    assert!(!rows.is_empty());
+}

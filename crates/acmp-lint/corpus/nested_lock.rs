@@ -1,0 +1,41 @@
+//@ path: crates/acmp-store/src/corpus_locks.rs
+// Known-bad fixture for `nested-lock`: a second workspace lock taken
+// while one is syntactically held in the same function.
+
+pub struct S;
+
+impl S {
+    fn nested_guard(&self) {
+        let inner = self.inner.lock();
+        let shard = self.shards.lock();
+        drop(shard);
+        drop(inner);
+    }
+
+    fn same_statement(&self) {
+        combine(self.inner.lock(), self.shards.lock());
+    }
+
+    fn released_first_is_fine(&self) {
+        let inner = self.inner.lock();
+        drop(inner);
+        let shard = self.shards.lock();
+        drop(shard);
+    }
+
+    fn scoped_release_is_fine(&self) {
+        {
+            let inner = self.inner.lock();
+            touch(&inner);
+        }
+        let shard = self.shards.lock();
+        drop(shard);
+    }
+
+    fn unknown_receivers_are_ignored(&self) {
+        let a = self.gizmo.lock();
+        let b = self.widget.lock();
+        drop(b);
+        drop(a);
+    }
+}

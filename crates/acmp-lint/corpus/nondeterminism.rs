@@ -1,0 +1,26 @@
+//@ path: crates/sim-core/src/corpus.rs
+// Known-bad fixture for the `nondeterminism` rule: every ambient-state
+// read in deterministic simulation code is a finding; the same calls in
+// test code are not.
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn tick() -> std::time::Instant {
+    let started = Instant::now();
+    started
+}
+
+pub fn who() -> std::thread::Thread {
+    thread::current()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let _ = std::time::Instant::now();
+        let _ = std::thread::current();
+    }
+}

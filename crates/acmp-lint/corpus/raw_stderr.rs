@@ -1,0 +1,16 @@
+//@ path: crates/acmp-obs/src/corpus.rs
+// Known-bad fixture for `raw-stderr`: direct stderr printing outside the
+// sweep CLI bypasses the observability layer.
+
+pub fn report(done: usize, total: usize) {
+    eprintln!("[{done}/{total}] working");
+}
+
+pub fn partial(text: &str) {
+    eprint!("{text}");
+}
+
+pub fn fine(text: &str) {
+    // The sanctioned route: identical stderr bytes, plus a trace event.
+    acmp_obs::logline!("{text}");
+}

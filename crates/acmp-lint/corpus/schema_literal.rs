@@ -1,0 +1,26 @@
+//@ path: crates/acmp-sweep/src/corpus.rs
+// Known-bad fixture for `schema-literal`: inline copies of the versioned
+// schema names and store filename patterns.  Only the defining modules
+// (acmp-obs/src/{trace,metrics}.rs, acmp-store/src/{segment,index}.rs)
+// may spell these.
+
+pub fn trace_header() -> &'static str {
+    "acmp-obs-trace/v1"
+}
+
+pub fn metrics_header() -> String {
+    format!("{{\"schema\":\"acmp-obs-metrics/v2\"}}")
+}
+
+pub fn segment_name(seq: u64) -> String {
+    format!("seg-{seq:08}-0-0000.seg")
+}
+
+pub fn index_name() -> &'static str {
+    "idx-0001.idx"
+}
+
+pub fn unversioned_is_not_a_schema() -> &'static str {
+    // No digit after the `v`, so this is prose, not a schema id.
+    "acmp-obs-trace/vNEXT"
+}

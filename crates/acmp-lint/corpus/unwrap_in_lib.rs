@@ -1,0 +1,20 @@
+//@ path: crates/acmp-sweep/src/corpus.rs
+// Known-bad fixture for `unwrap-in-lib`: panicking escapes in sweep/store
+// library code.  Test code may unwrap freely.
+
+pub fn first_cell(cells: &[u64]) -> u64 {
+    *cells.first().unwrap()
+}
+
+pub fn parse_budget(text: &str) -> u64 {
+    text.parse().expect("budget must be numeric")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let cells = vec![1u64];
+        assert_eq!(*cells.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//@ path: crates/acmp-store/src/corpus_waived.rs
+// Waiver fixture: a justified waiver suppresses its finding; a waiver
+// without a justification is itself an error (and suppresses nothing);
+// a waiver that matches nothing is a warning.
+
+pub fn stamp() -> std::time::SystemTime {
+    // acmp-lint: allow(nondeterminism) -- feeds a log line only, never simulated state
+    std::time::SystemTime::now()
+}
+
+pub fn first(cells: &[u64]) -> u64 {
+    // acmp-lint: allow(unwrap-in-lib)
+    *cells.first().unwrap()
+}
+
+pub fn nothing_to_waive() -> u64 {
+    // acmp-lint: allow(raw-stderr) -- justified, but there is no finding here
+    7
+}

@@ -1,0 +1,143 @@
+//! Diagnostics: what a rule reports, how it sorts, and how it renders
+//! (human text and machine JSON — hand-rolled, this crate has no deps).
+
+/// How serious a finding is.  Errors fail the build; warnings print but do
+/// not affect the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// The rule that fired (`nondeterminism`, `raw-stderr`, …).
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The stable sort key: path, then position, then rule.
+    #[must_use]
+    pub fn sort_key(&self) -> (&str, u32, u32, &'static str) {
+        (&self.path, self.line, self.col, self.rule)
+    }
+
+    /// `path:line:col: severity[rule]: message` — one line, rustc-style.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}[{}]: {}",
+            self.path,
+            self.line,
+            self.col,
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Renders diagnostics as a JSON document:
+/// `{"schema":"acmp-lint/v1","diagnostics":[…],"errors":N,"warnings":N}`.
+#[must_use]
+pub fn render_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"schema\":\"acmp-lint/v1\",\"diagnostics\":[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"path\":");
+        json_string(&mut out, &d.path);
+        out.push_str(",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"col\":");
+        out.push_str(&d.col.to_string());
+        out.push_str(",\"rule\":");
+        json_string(&mut out, d.rule);
+        out.push_str(",\"severity\":");
+        json_string(&mut out, d.severity.as_str());
+        out.push_str(",\"message\":");
+        json_string(&mut out, &d.message);
+        out.push('}');
+    }
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics.len() - errors;
+    out.push_str(&format!("],\"errors\":{errors},\"warnings\":{warnings}}}"));
+    out
+}
+
+/// Appends `s` to `out` as a JSON string literal.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_rustc_shape() {
+        let d = Diagnostic {
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 9,
+            rule: "raw-stderr",
+            severity: Severity::Error,
+            message: "use `logline!`".to_string(),
+        };
+        assert_eq!(
+            d.render(),
+            "crates/x/src/lib.rs:3:9: error[raw-stderr]: use `logline!`"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = Diagnostic {
+            path: "a.rs".to_string(),
+            line: 1,
+            col: 1,
+            rule: "schema-literal",
+            severity: Severity::Warning,
+            message: "literal \"x\"\nnewline".to_string(),
+        };
+        let json = render_json(&[d]);
+        assert!(json.starts_with("{\"schema\":\"acmp-lint/v1\""));
+        assert!(json.contains("\\\"x\\\"\\nnewline"));
+        assert!(json.ends_with("\"errors\":0,\"warnings\":1}"));
+    }
+}

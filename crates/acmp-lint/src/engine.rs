@@ -1,0 +1,283 @@
+//! The engine: walks the workspace, runs every rule over every file,
+//! applies inline waivers, and returns a stable-sorted diagnostic list.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::{all_rules, rule_ids, ManifestFile, Rule};
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Engine-level rule ids (not waivable — they police the waivers).
+pub const BAD_WAIVER: &str = "bad-waiver";
+pub const UNUSED_WAIVER: &str = "unused-waiver";
+
+/// Lints already-analyzed sources and manifests.
+///
+/// `rule_filter` restricts the run to one rule id; waiver hygiene
+/// ([`BAD_WAIVER`], [`UNUSED_WAIVER`]) is only checked on full runs, since
+/// a filtered run cannot tell whether another rule's waiver earns its keep.
+#[must_use]
+pub fn lint(
+    files: &[SourceFile],
+    manifests: &[ManifestFile],
+    rule_filter: Option<&str>,
+) -> Vec<Diagnostic> {
+    let rules: Vec<Box<dyn Rule>> = all_rules()
+        .into_iter()
+        .filter(|r| rule_filter.is_none_or(|want| r.id() == want))
+        .collect();
+    let known = rule_ids();
+
+    let mut raw = Vec::new();
+    for rule in &rules {
+        for file in files {
+            rule.check_file(file, &mut raw);
+        }
+        for manifest in manifests {
+            rule.check_manifest(manifest, &mut raw);
+        }
+    }
+
+    // Apply waivers: a diagnostic is suppressed by a *valid* waiver in its
+    // file covering its line for its rule.  Invalid waivers never suppress.
+    let mut out = Vec::new();
+    for diag in raw {
+        let file = files.iter().find(|f| f.rel == diag.path);
+        let waived = file.is_some_and(|f| {
+            f.waivers
+                .iter()
+                .filter(|w| waiver_is_valid(w, &known))
+                .filter(|w| w.rule_id == diag.rule && w.covers_line == diag.line)
+                .inspect(|w| w.used.set(true))
+                .count()
+                > 0
+        });
+        if !waived {
+            out.push(diag);
+        }
+    }
+
+    if rule_filter.is_none() {
+        for file in files {
+            for waiver in &file.waivers {
+                if !waiver_is_valid(waiver, &known) {
+                    let why = if waiver.rule_id.is_empty() {
+                        "malformed waiver: expected `allow(rule-id)`".to_string()
+                    } else if !known.contains(&waiver.rule_id.as_str()) {
+                        format!("waiver names unknown rule `{}`", waiver.rule_id)
+                    } else {
+                        format!(
+                            "waiver for `{}` has no justification: append \
+                             ` -- <why this is safe>`",
+                            waiver.rule_id
+                        )
+                    };
+                    out.push(Diagnostic {
+                        path: file.rel.clone(),
+                        line: waiver.line,
+                        col: waiver.col,
+                        rule: BAD_WAIVER,
+                        severity: Severity::Error,
+                        message: why,
+                    });
+                } else if !waiver.used.get() {
+                    out.push(Diagnostic {
+                        path: file.rel.clone(),
+                        line: waiver.line,
+                        col: waiver.col,
+                        rule: UNUSED_WAIVER,
+                        severity: Severity::Warning,
+                        message: format!(
+                            "waiver for `{}` suppresses nothing on line {}; remove it",
+                            waiver.rule_id, waiver.covers_line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    out
+}
+
+fn waiver_is_valid(waiver: &crate::source::Waiver, known: &[&'static str]) -> bool {
+    !waiver.rule_id.is_empty()
+        && known.contains(&waiver.rule_id.as_str())
+        && !waiver.justification.is_empty()
+}
+
+/// Loads and lints the workspace rooted at `root`.
+///
+/// The walk covers `crates/*/{src,tests,benches,examples}` recursively,
+/// the root-level `tests/` and `examples/` targets (owned by the `core`
+/// crate), and every `shims/*/Cargo.toml` manifest.  The acmp-lint corpus
+/// (`crates/acmp-lint/corpus/`) is fixture data, not workspace code, and
+/// is outside those roots by construction.
+pub fn lint_workspace(root: &Path, rule_filter: Option<&str>) -> io::Result<Vec<Diagnostic>> {
+    let (files, manifests) = load_workspace(root)?;
+    Ok(lint(&files, &manifests, rule_filter))
+}
+
+/// Collects and analyzes every lintable file under `root`.
+pub fn load_workspace(root: &Path) -> io::Result<(Vec<SourceFile>, Vec<ManifestFile>)> {
+    let mut rust_paths: Vec<PathBuf> = Vec::new();
+
+    for crate_dir in sorted_dirs(&root.join("crates"))? {
+        for sub in ["src", "tests", "benches", "examples"] {
+            collect_rs(&crate_dir.join(sub), &mut rust_paths)?;
+        }
+    }
+    collect_rs(&root.join("tests"), &mut rust_paths)?;
+    collect_rs(&root.join("examples"), &mut rust_paths)?;
+    rust_paths.sort();
+
+    let mut files = Vec::with_capacity(rust_paths.len());
+    for path in &rust_paths {
+        let text = fs::read_to_string(path)?;
+        files.push(SourceFile::analyze(&rel_path(root, path), text));
+    }
+
+    let mut manifests = Vec::new();
+    for shim_dir in sorted_dirs(&root.join("shims"))? {
+        let manifest = shim_dir.join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(ManifestFile {
+                rel: rel_path(root, &manifest),
+                text: fs::read_to_string(&manifest)?,
+            });
+        }
+    }
+
+    Ok((files, manifests))
+}
+
+/// The immediate subdirectories of `dir`, sorted by name (missing dir →
+/// empty, so optional roots like `benches/` cost nothing).
+fn sorted_dirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Ok(out);
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `*.rs` files under `dir` (missing dir → no-op).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Ok(());
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with `/` separators.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let files = vec![SourceFile::analyze(rel, src.to_string())];
+        lint(&files, &[], None)
+    }
+
+    #[test]
+    fn raw_stderr_fires_and_valid_waiver_suppresses() {
+        let findings = run("crates/acmp-obs/src/x.rs", "fn f() { eprintln!(\"x\"); }\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "raw-stderr");
+
+        let waived = run(
+            "crates/acmp-obs/src/x.rs",
+            "fn f() {\n    // acmp-lint: allow(raw-stderr) -- logline! impl itself\n    eprintln!(\"x\");\n}\n",
+        );
+        assert!(waived.is_empty(), "{waived:?}");
+    }
+
+    #[test]
+    fn waiver_without_justification_is_bad_and_does_not_suppress() {
+        let findings = run(
+            "crates/acmp-obs/src/x.rs",
+            "fn f() {\n    // acmp-lint: allow(raw-stderr)\n    eprintln!(\"x\");\n}\n",
+        );
+        let rules: Vec<_> = findings.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec![BAD_WAIVER, "raw-stderr"]);
+    }
+
+    #[test]
+    fn unknown_rule_waiver_is_bad() {
+        let findings = run(
+            "crates/acmp-obs/src/x.rs",
+            "// acmp-lint: allow(no-such-rule) -- because\nfn f() {}\n",
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, BAD_WAIVER);
+        assert!(findings[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn unused_waiver_warns_on_full_runs_only() {
+        let src = "// acmp-lint: allow(raw-stderr) -- nothing here needs it\nfn f() {}\n";
+        let files = vec![SourceFile::analyze(
+            "crates/acmp-obs/src/x.rs",
+            src.to_string(),
+        )];
+        let full = lint(&files, &[], None);
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].rule, UNUSED_WAIVER);
+        assert_eq!(full[0].severity, Severity::Warning);
+
+        let files = vec![SourceFile::analyze(
+            "crates/acmp-obs/src/x.rs",
+            src.to_string(),
+        )];
+        let filtered = lint(&files, &[], Some("raw-stderr"));
+        assert!(filtered.is_empty());
+    }
+
+    #[test]
+    fn diagnostics_sort_stably_by_path_then_position() {
+        let a = SourceFile::analyze(
+            "crates/acmp-obs/src/b.rs",
+            "fn f() { eprintln!(\"x\"); eprint!(\"y\"); }\n".to_string(),
+        );
+        let b = SourceFile::analyze(
+            "crates/acmp-obs/src/a.rs",
+            "fn f() { eprintln!(\"x\"); }\n".to_string(),
+        );
+        let findings = lint(&[a, b], &[], None);
+        let paths: Vec<_> = findings.iter().map(|d| (d.path.as_str(), d.col)).collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("crates/acmp-obs/src/a.rs", 10),
+                ("crates/acmp-obs/src/b.rs", 10),
+                ("crates/acmp-obs/src/b.rs", 26),
+            ]
+        );
+    }
+}

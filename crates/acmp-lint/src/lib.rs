@@ -1,0 +1,25 @@
+//! acmp-lint: workspace-aware static analysis for the acmp repo.
+//!
+//! A hand-rolled, dependency-free Rust lexer ([`lexer`]) feeds a small
+//! rule engine ([`engine`]) that enforces the invariants the simulation
+//! stack actually depends on — determinism of the hot paths, the
+//! observability contract, schema single-sourcing, and lock discipline.
+//! Findings are precise (`file:line:col`), carry stable rule ids, and can
+//! be waived inline with a mandatory justification:
+//!
+//! ```text
+//! // acmp-lint: allow(rule-id) -- why this occurrence is safe
+//! ```
+//!
+//! Run it with `cargo run -p acmp-lint -- check [--rule ID] [--json]`.
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use diag::{render_json, Diagnostic, Severity};
+pub use engine::{lint, lint_workspace, load_workspace};
+pub use rules::{all_rules, rule_ids, ManifestFile};
+pub use source::{FileKind, SourceFile};

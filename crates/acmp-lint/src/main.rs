@@ -1,0 +1,164 @@
+//! The `acmp-lint` CLI.
+//!
+//! ```text
+//! cargo run -p acmp-lint -- check [--rule ID] [--json] [--root PATH]
+//! cargo run -p acmp-lint -- rules
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 errors found, 2 usage error.
+
+// The linter is dependency-free and cannot route through acmp-obs.
+#![allow(clippy::print_stderr)]
+
+use acmp_lint::{all_rules, lint_workspace, render_json, rule_ids, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+acmp-lint: workspace-aware static analysis
+
+USAGE:
+    acmp-lint check [--rule ID] [--json] [--root PATH]
+    acmp-lint rules
+
+COMMANDS:
+    check    lint the workspace and print diagnostics
+    rules    list every rule id with its summary
+
+OPTIONS:
+    --rule ID     run a single rule (waiver hygiene is skipped)
+    --json        emit the acmp-lint/v1 JSON document instead of text
+    --root PATH   workspace root (default: auto-detected from cwd)
+
+EXIT CODES:
+    0  no errors (warnings allowed)
+    1  at least one error-severity finding
+    2  usage error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("rules") => run_rules(),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            if let Some(cmd) = other {
+                eprintln!("acmp-lint: unknown command `{cmd}`\n");
+            }
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_rules() -> ExitCode {
+    for rule in all_rules() {
+        println!("{:<16} {}", rule.id(), rule.summary());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut rule: Option<String> = None;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rule" => {
+                let Some(id) = it.next() else {
+                    eprintln!("acmp-lint: --rule needs a rule id");
+                    return ExitCode::from(2);
+                };
+                if !rule_ids().contains(&id.as_str()) {
+                    eprintln!(
+                        "acmp-lint: unknown rule `{id}` (see `acmp-lint rules` for the list)"
+                    );
+                    return ExitCode::from(2);
+                }
+                rule = Some(id.clone());
+            }
+            "--json" => json = true,
+            "--root" => {
+                let Some(path) = it.next() else {
+                    eprintln!("acmp-lint: --root needs a path");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(path));
+            }
+            other => {
+                eprintln!("acmp-lint: unknown option `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "acmp-lint: no workspace root found (no ancestor with crates/ and Cargo.toml); \
+                 pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let diagnostics = match lint_workspace(&root, rule.as_deref()) {
+        Ok(d) => d,
+        Err(err) => {
+            eprintln!(
+                "acmp-lint: failed to read workspace at {}: {err}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics.len() - errors;
+
+    if json {
+        println!("{}", render_json(&diagnostics));
+    } else {
+        for d in &diagnostics {
+            println!("{}", d.render());
+        }
+        println!(
+            "acmp-lint: {} error{}, {} warning{}",
+            errors,
+            if errors == 1 { "" } else { "s" },
+            warnings,
+            if warnings == 1 { "" } else { "s" },
+        );
+    }
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the cwd looking for the workspace root: a directory with
+/// both `Cargo.toml` and `crates/`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

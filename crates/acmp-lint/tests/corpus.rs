@@ -1,0 +1,122 @@
+//! Golden corpus: every rule fires on its known-bad fixture, stays silent
+//! on clean and properly-waived code, and reports in stable order.
+//!
+//! Each `corpus/*.rs` (or `.toml`, for manifest rules) opens with a
+//! `//@ path:` (resp. `#@ path:`) directive naming the virtual
+//! workspace-relative path the fixture pretends to live at — that is what
+//! scopes the rules.  The blessed diagnostics live next to each fixture
+//! as `*.expected`; re-bless after an intentional rule change with
+//! `UPDATE_FIXTURES=1 cargo test -p acmp-lint --test corpus`.
+
+use acmp_lint::{lint, Diagnostic, ManifestFile, SourceFile};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn render(diags: &[Diagnostic]) -> String {
+    diags.iter().map(|d| d.render() + "\n").collect()
+}
+
+/// The `path:` directive on the fixture's first line.
+fn virtual_path(fixture: &Path, text: &str) -> String {
+    text.lines()
+        .next()
+        .and_then(|line| {
+            line.trim_start_matches("//@")
+                .trim_start_matches("#@")
+                .trim()
+                .strip_prefix("path:")
+        })
+        .map(str::trim)
+        .unwrap_or_else(|| panic!("{} lacks a `path:` first-line directive", fixture.display()))
+        .to_string()
+}
+
+#[test]
+fn corpus_matches_blessed_expectations() {
+    let dir = corpus_dir();
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs" || e == "toml"))
+        .collect();
+    fixtures.sort();
+    assert!(!fixtures.is_empty(), "corpus must not be empty");
+
+    let bless = std::env::var_os("UPDATE_FIXTURES").is_some();
+    let mut failures = Vec::new();
+    let mut rules_seen: Vec<&str> = Vec::new();
+
+    for fixture in &fixtures {
+        let text = fs::read_to_string(fixture).expect("readable fixture");
+        let rel = virtual_path(fixture, &text);
+        // Each fixture is linted in isolation, as a full run, so waiver
+        // hygiene (bad-waiver / unused-waiver) is part of the goldens.
+        let diags = if fixture.extension().is_some_and(|e| e == "toml") {
+            lint(&[], &[ManifestFile { rel, text }], None)
+        } else {
+            lint(&[SourceFile::analyze(&rel, text)], &[], None)
+        };
+        for d in &diags {
+            if !rules_seen.contains(&d.rule) {
+                rules_seen.push(d.rule);
+            }
+        }
+        let got = render(&diags);
+        let expected_path = fixture.with_extension("expected");
+        if bless {
+            fs::write(&expected_path, &got).expect("bless writes the golden");
+            continue;
+        }
+        let want = fs::read_to_string(&expected_path).unwrap_or_default();
+        if got != want {
+            failures.push(format!(
+                "== {} ==\n--- expected ---\n{want}--- got ---\n{got}",
+                fixture.display()
+            ));
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "corpus diverged from blessed goldens (UPDATE_FIXTURES=1 re-blesses):\n{}",
+        failures.join("\n")
+    );
+
+    // Coverage guard: the corpus must exercise every rule (plus the two
+    // engine-level waiver-hygiene rules), so a new rule without a fixture
+    // fails here rather than shipping untested.
+    if !bless {
+        for rule in acmp_lint::rule_ids()
+            .into_iter()
+            .chain(["bad-waiver", "unused-waiver"])
+        {
+            assert!(
+                rules_seen.contains(&rule),
+                "no corpus fixture makes rule `{rule}` fire"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_rule_runs_filter_the_corpus() {
+    // --rule ID runs one rule and skips waiver hygiene entirely.
+    let fixture = corpus_dir().join("waived.rs");
+    let text = fs::read_to_string(&fixture).expect("readable fixture");
+    let rel = virtual_path(&fixture, &text);
+    let diags = lint(
+        &[SourceFile::analyze(&rel, text)],
+        &[],
+        Some("unwrap-in-lib"),
+    );
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    assert_eq!(
+        rules,
+        vec!["unwrap-in-lib"],
+        "filtered run reports only the requested rule, no waiver hygiene"
+    );
+}

@@ -1,0 +1,128 @@
+//! Property tests of the lexer's totality: arbitrary token soup —
+//! including unterminated strings, stray quotes, half-open comments and
+//! multibyte text — must never panic, and the emitted spans must exactly
+//! partition the input so concatenating token texts round-trips the file.
+
+use acmp_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Fragments chosen to stress every lexer mode and its error recovery.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "let",
+    "x",
+    "r#match",
+    "'a",
+    "'x'",
+    "b'\\n'",
+    "0x1f",
+    "1_000.5e-3",
+    "\"str\"",
+    "\"unterminated",
+    "r#\"raw\"#",
+    "r#\"open",
+    "br##\"deep\"##",
+    "//",
+    "// line\n",
+    "/*",
+    "*/",
+    "/* nested /* deep */ */",
+    "::",
+    ".",
+    "..",
+    "=>",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    "#",
+    "!",
+    "&&",
+    "\n",
+    " ",
+    "\t",
+    "\\",
+    "\"",
+    "'",
+    "é",
+    "→",
+    "🦀",
+    "acmp-lint: allow(raw-stderr)",
+];
+
+fn soup(pieces: &[usize]) -> String {
+    pieces
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn token_soup_never_panics_and_spans_partition(
+        pieces in prop::collection::vec(any::<usize>(), 0..64)
+    ) {
+        let text = soup(&pieces);
+        let tokens = lex(&text);
+
+        // Spans partition the input: contiguous, in order, ending at EOF.
+        let mut at = 0usize;
+        for tok in &tokens {
+            prop_assert_eq!(tok.start, at, "gap or overlap before a token");
+            prop_assert!(tok.end > tok.start, "empty token span");
+            at = tok.end;
+        }
+        prop_assert_eq!(at, text.len(), "spans must cover the whole input");
+
+        // Concatenating the token texts round-trips the source bytes.
+        let rebuilt: String = tokens.iter().map(|t| t.text(&text)).collect();
+        prop_assert_eq!(rebuilt, text);
+    }
+
+    #[test]
+    fn line_and_column_positions_are_consistent(
+        pieces in prop::collection::vec(any::<usize>(), 0..48)
+    ) {
+        let text = soup(&pieces);
+        let tokens = lex(&text);
+        let mut line = 1u32;
+        let mut col = 1u32; // columns are 1-based BYTE offsets (see diag.rs)
+        for tok in &tokens {
+            prop_assert_eq!((tok.line, tok.col), (line, col), "position drift");
+            for c in tok.text(&text).chars() {
+                if c == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += u32::try_from(c.len_utf8()).unwrap_or(1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_kinds_never_swallow_comment_text(
+        pieces in prop::collection::vec(any::<usize>(), 0..48)
+    ) {
+        // A comment's text starts with its marker; a whitespace token is
+        // all whitespace.  (String/char tokens legitimately contain
+        // anything, including comment markers.)
+        let text = soup(&pieces);
+        for tok in lex(&text) {
+            let s = tok.text(&text);
+            match tok.kind {
+                TokenKind::LineComment => prop_assert!(s.starts_with("//")),
+                TokenKind::BlockComment => prop_assert!(s.starts_with("/*")),
+                TokenKind::Whitespace => {
+                    prop_assert!(s.chars().all(char::is_whitespace));
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -216,10 +216,41 @@ pub(crate) fn reset_hot_counters() {
 /// Prints `text` to stderr (exactly as `eprintln!` would) and, when the
 /// event recorder is attached, also records it as a `log` event — the
 /// implementation behind [`logline!`].
+#[allow(clippy::print_stderr)]
 pub fn log_text(text: &str) {
+    // acmp-lint: allow(raw-stderr) -- this IS the logline! implementation
     eprintln!("{text}");
     if events_enabled() {
         recorder::emit_log(text);
+    }
+}
+
+/// A wall-clock stopwatch for CLI progress reporting.
+///
+/// The one sanctioned way to measure elapsed wall time outside `bench`:
+/// the clock read is concentrated here in `acmp-obs` (which already owns
+/// the process [`epoch`]) so the deterministic simulation and storage
+/// crates stay free of ambient-time calls — the `nondeterminism` lint
+/// rule enforces exactly that.  Measured durations are *reported*, never
+/// fed back into simulated state.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
     }
 }
 

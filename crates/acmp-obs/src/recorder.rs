@@ -234,6 +234,7 @@ pub fn drain_events() -> Vec<Event> {
     {
         let mut registry = REGISTRY.lock();
         for buf in registry.iter() {
+            // acmp-lint: allow(nested-lock) -- registry→buffer is the one global lock order; buffers are leaf locks never held across calls
             events.append(&mut buf.lock());
         }
         // A buffer referenced only by the registry belongs to a dead

@@ -161,6 +161,7 @@ impl DiskStore {
                         .open(&tmp_path)?;
                     active = Some((tmp_path, file, 0));
                 }
+                // acmp-lint: allow(unwrap-in-lib) -- the None arm directly above just installed it
                 let (_, file, len) = active.as_mut().expect("just installed");
                 let offset = *len;
                 file.write_all(record.as_bytes())?;

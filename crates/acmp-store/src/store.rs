@@ -71,6 +71,11 @@ pub struct StoreStats {
     pub live_bytes: u64,
     /// Segment files deleted by generation eviction at open.
     pub evicted: u64,
+    /// Full directory listings performed by [`refresh`](DiskStore::refresh)
+    /// (the open-time replay is not counted).  Stays flat across repeated
+    /// misses against an unchanged directory — that is the point of the
+    /// mtime cache and the in-margin `(mtime, size)` memo.
+    pub dir_scans: u64,
 }
 
 /// What one [`import_segments`](DiskStore::import_segments) call did.
@@ -123,6 +128,14 @@ pub(crate) struct Inner {
     /// directory mtime — so an unchanged mtime lets a refresh skip the
     /// whole re-listing.
     pub(crate) dir_seen: Option<SystemTime>,
+    /// The `(mtime, size)` of the store directory as of the last full
+    /// listing, consulted only while the mtime is still too recent for
+    /// [`dir_seen`](Self::dir_seen) (see [`DIR_MTIME_TRUST_MARGIN`]).
+    /// Without it, every load miss inside the margin re-listed the whole
+    /// directory.
+    pub(crate) last_listing: Option<(Option<SystemTime>, Option<u64>)>,
+    /// Full directory listings performed by refresh (for [`StoreStats`]).
+    pub(crate) dir_scans: u64,
 }
 
 /// An on-disk key → value store addressed by stable content hash, packed
@@ -281,18 +294,36 @@ impl DiskStore {
     pub fn refresh(&self) -> usize {
         let mut span = acmp_obs::span!(acmp_obs::names::STORE_REFRESH);
         let mut inner = self.inner.lock();
-        let modified = std::fs::metadata(&self.root)
-            .and_then(|m| m.modified())
-            .ok();
+        let meta = std::fs::metadata(&self.root).ok();
+        let modified = meta.as_ref().and_then(|m| m.modified().ok());
+        let dir_size = meta.map(|m| m.len());
         if inner.dir_seen.is_some() && inner.dir_seen == modified {
             span.record_field("segments_indexed", 0u64);
             span.record_field("listing_skipped", 1u64);
             return 0;
         }
+        // acmp-lint: allow(nondeterminism) -- the clock only gates directory re-listing (a cache of the filesystem), never result bytes
+        let now = SystemTime::now();
+        // Inside the trust margin `dir_seen` can never be cached, but that
+        // must not mean a full listing per miss: if the directory's
+        // (mtime, size) still matches what the last listing saw, nothing
+        // was published since and the walk is skipped.  `dir_seen` stays
+        // empty, so one catch-up listing happens once the mtime ages past
+        // the margin — covering a publish that landed in the very same
+        // timestamp granule as that last listing.
+        if trusted_dir_mtime(modified, now).is_none()
+            && inner.last_listing == Some((modified, dir_size))
+        {
+            span.record_field("segments_indexed", 0u64);
+            span.record_field("listing_skipped", 1u64);
+            return 0;
+        }
+        inner.dir_scans += 1;
         let Ok(found) = segment::list_segments(&self.root) else {
             return 0;
         };
-        inner.dir_seen = trusted_dir_mtime(modified, SystemTime::now());
+        inner.dir_seen = trusted_dir_mtime(modified, now);
+        inner.last_listing = Some((modified, dir_size));
         let known: std::collections::HashSet<&Path> =
             inner.segments.iter().map(PathBuf::as_path).collect();
         let fresh: Vec<(SegmentName, PathBuf)> = found
@@ -364,6 +395,7 @@ impl DiskStore {
         let _span = acmp_obs::span!(acmp_obs::names::STORE_APPEND);
         self.ensure_active(inner, line.len() as u64)?;
         let (write_result, segment, offset) = {
+            // acmp-lint: allow(unwrap-in-lib) -- ensure_active just succeeded, so an active segment is installed
             let active = inner.active.as_mut().expect("ensure_active installs one");
             let offset = active.len;
             let result = active
@@ -526,16 +558,15 @@ impl DiskStore {
             body_bytes += buf.len() as u64;
             folded = crate::stable_hash::fnv1a_fold(folded, &buf);
             let bytes = buf.strip_suffix(b"\n").unwrap_or(&buf);
-            let canonical = std::str::from_utf8(bytes)
-                .ok()
-                .and_then(segment::scan_record);
-            let Some(canonical) = canonical else {
+            let record = std::str::from_utf8(bytes).ok().and_then(|text| {
+                segment::scan_record(text).map(|canonical| (canonical, text.to_string()))
+            });
+            let Some((canonical, line)) = record else {
                 return Err(invalid(format!(
                     "export record {} fails verification; nothing was imported",
                     verified.len() + 1
                 )));
             };
-            let line = String::from_utf8(bytes.to_vec()).expect("checked above");
             verified.push((canonical, line));
         }
         if folded != digest {
@@ -624,6 +655,7 @@ impl DiskStore {
             generation: inner.generation,
             live_bytes: inner.live_bytes,
             evicted: self.evicted.load(Ordering::Relaxed),
+            dir_scans: inner.dir_scans,
         }
     }
 }
@@ -986,6 +1018,40 @@ mod tests {
         set_dir_mtime(&root, past + Duration::from_secs(30));
         assert_eq!(store.refresh(), 1);
         assert!(store.contains(&key("lu")));
+    }
+
+    #[test]
+    fn misses_inside_the_trust_margin_list_the_directory_once() {
+        // The directory mtime is "now", inside DIR_MTIME_TRUST_MARGIN, so
+        // `dir_seen` cannot be cached.  Before the (mtime, size) memo,
+        // every one of the misses below walked the directory again.
+        let root = temp_root("refresh-memo");
+        let reader = DiskStore::open(&root).unwrap();
+        let writer = DiskStore::open(&root).unwrap();
+        writer.save(&key("cg"), &1u64).unwrap();
+        assert_eq!(reader.load::<u64>(&key("cg")), Some(1));
+        let scans = reader.stats().dir_scans;
+        assert!(scans >= 1, "the stale first load must have listed");
+        for _ in 0..5 {
+            assert_eq!(reader.load::<u64>(&key("absent")), None);
+        }
+        // At most one more listing is tolerated (the catch-up walk, if the
+        // margin expired mid-test on a slow machine) — never one per miss.
+        let after = reader.stats().dir_scans;
+        assert!(
+            after <= scans + 1,
+            "5 misses against an unchanged directory cost {} listings",
+            after - scans
+        );
+        // A new publish bumps the directory mtime, which invalidates the
+        // memo: the next miss re-lists and finds the fresh segment.
+        let late = DiskStore::open(&root).unwrap();
+        late.save(&key("lu"), &2u64).unwrap();
+        assert_eq!(reader.load::<u64>(&key("lu")), Some(2));
+        assert!(
+            reader.stats().dir_scans > after,
+            "the publish re-armed the walk"
+        );
     }
 
     /// Pins a directory's mtime to a whole-second epoch value.

@@ -64,6 +64,10 @@
 //! it with **zero segment value reads**, which `--metrics-out` proves via
 //! the `store.value_reads` counter.
 
+// The sweep CLI owns the process stderr contract (progress, summaries,
+// usage): the `raw-stderr` lint rule exempts exactly this directory.
+#![allow(clippy::print_stderr)]
+
 use acmp_sweep::manifest::{scale_generator, SweepManifest};
 use acmp_sweep::merge::{
     merge_shard_streams, merge_validated, shard_key_schedule, validate_shard_stream, MergeError,
@@ -77,7 +81,13 @@ use hpc_workloads::GeneratorConfig;
 use std::io::Write;
 use std::path::PathBuf;
 
-const USAGE: &str = "\
+/// The top-level usage text.  A function, not a const: the metrics schema
+/// name is spliced in from its defining constant
+/// ([`acmp_obs::METRICS_SCHEMA`]) so the help text can never drift from
+/// the writer (the `schema-literal` lint rule bans inline copies).
+fn usage() -> String {
+    format!(
+        "\
 usage: sweep run   [options]                 run a grid, or one shard of it
        sweep plan  FILE [options]            sign a multi-machine shard manifest
        sweep merge --manifest plan.json [--out FILE] shard-1.jsonl … shard-N.jsonl
@@ -108,7 +118,7 @@ run options:
                       (spans, log lines; sharded runs fold every child's
                       events in, tagged `shard=i/N`)
   --metrics-out FILE  write aggregated counters and duration histograms
-                      as one JSON document (schema acmp-obs-metrics/v1)
+                      as one JSON document (schema {schema})
   --quiet             suppress per-job progress lines
   --help              this text
 
@@ -128,7 +138,10 @@ deprecated aliases: the run options work without the `run` subcommand, and
   --import-segments FILE mirror `sweep plan` and the store subcommands.
 
 design specs: baseline proposed all-shared all-shared-single worker-shared-32k
-              naive:N  lb:N  shared:KiB:LB:single|double  fig07..fig13 presets";
+              naive:N  lb:N  shared:KiB:LB:single|double  fig07..fig13 presets",
+        schema = acmp_obs::METRICS_SCHEMA
+    )
+}
 
 const STORE_USAGE: &str = "\
 usage: sweep store compact|stats|export FILE|import FILE [--cache-dir DIR]
@@ -141,7 +154,11 @@ usage: sweep store compact|stats|export FILE|import FILE [--cache-dir DIR]
   import FILE         absorb a bundle exported elsewhere (local keys win)
   --cache-dir DIR     the store to operate on (default: target/sweep-cache)";
 
-const QUERY_USAGE: &str = "\
+/// `sweep query` usage text — a function for the same reason as
+/// [`usage`]: the metrics schema name comes from its defining constant.
+fn query_usage() -> String {
+    format!(
+        "\
 usage: sweep query [FILTER …] --by METRIC [--top K] [--desc] [--cache-dir DIR]
                    [--out FILE] [--trace-out FILE] [--metrics-out FILE] [--quiet]
   Ranks the store's cached results without running anything.  Filters are
@@ -166,8 +183,11 @@ usage: sweep query [FILTER …] --by METRIC [--top K] [--desc] [--cache-dir DIR]
   --out FILE        write JSONL hits to FILE        (default: stdout)
   --cache-dir DIR   the store to query              (default: target/sweep-cache)
   --trace-out FILE  structured JSONL event trace of the query
-  --metrics-out FILE  aggregated counters (schema acmp-obs-metrics/v1)
-  --quiet           suppress the stderr summary";
+  --metrics-out FILE  aggregated counters (schema {schema})
+  --quiet           suppress the stderr summary",
+        schema = acmp_obs::METRICS_SCHEMA
+    )
+}
 
 const TRACE_USAGE: &str = "\
 usage: sweep trace report TRACE.jsonl [--metrics FILE.json] [--top K]
@@ -535,10 +555,10 @@ fn parse_or_die(args: &[String]) -> Options {
         Ok(opts) => opts,
         Err(msg) => {
             if msg.is_empty() {
-                eprintln!("{USAGE}");
+                eprintln!("{}", usage());
                 std::process::exit(0);
             }
-            eprintln!("sweep: {msg}\n\n{USAGE}");
+            eprintln!("sweep: {msg}\n\n{}", usage());
             std::process::exit(2);
         }
     }
@@ -558,7 +578,10 @@ fn main() {
                 std::process::exit(2);
             }
             if opts.plan.is_some() {
-                eprintln!("sweep: planning is `sweep plan FILE`, not a `run` flag\n\n{USAGE}");
+                eprintln!(
+                    "sweep: planning is `sweep plan FILE`, not a `run` flag\n\n{}",
+                    usage()
+                );
                 std::process::exit(2);
             }
             dispatch_run(&opts);
@@ -567,7 +590,10 @@ fn main() {
             // `sweep plan FILE [grid flags] --shards N` — sugar over the
             // legacy `--plan FILE` grammar, sharing its conflict checks.
             let Some(file) = args.get(1).filter(|a| !a.starts_with("--")).cloned() else {
-                eprintln!("sweep: `sweep plan` needs a manifest file to write\n\n{USAGE}");
+                eprintln!(
+                    "sweep: `sweep plan` needs a manifest file to write\n\n{}",
+                    usage()
+                );
                 std::process::exit(2);
             };
             let mut legacy = vec!["--plan".to_string(), file.clone()];
@@ -678,7 +704,7 @@ fn run_query(args: &[String]) {
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
             it.next().cloned().unwrap_or_else(|| {
-                eprintln!("sweep query: {name} needs a value\n\n{QUERY_USAGE}");
+                eprintln!("sweep query: {name} needs a value\n\n{}", query_usage());
                 std::process::exit(2);
             })
         };
@@ -687,7 +713,7 @@ fn run_query(args: &[String]) {
             "--top" => {
                 let v = value("--top");
                 top = Some(v.parse::<usize>().unwrap_or_else(|_| {
-                    eprintln!("sweep query: bad --top `{v}`\n\n{QUERY_USAGE}");
+                    eprintln!("sweep query: bad --top `{v}`\n\n{}", query_usage());
                     std::process::exit(2);
                 }));
             }
@@ -698,24 +724,27 @@ fn run_query(args: &[String]) {
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
-                eprintln!("{QUERY_USAGE}");
+                eprintln!("{}", query_usage());
                 std::process::exit(0);
             }
             flag if flag.starts_with("--") => {
-                eprintln!("sweep query: unknown option `{flag}`\n\n{QUERY_USAGE}");
+                eprintln!("sweep query: unknown option `{flag}`\n\n{}", query_usage());
                 std::process::exit(2);
             }
             filter => filters.push(filter.to_string()),
         }
     }
     let Some(by) = by else {
-        eprintln!("sweep query: a ranking metric (--by METRIC) is required\n\n{QUERY_USAGE}");
+        eprintln!(
+            "sweep query: a ranking metric (--by METRIC) is required\n\n{}",
+            query_usage()
+        );
         std::process::exit(2);
     };
     let query = match Query::parse(&filters, &by, top, descending) {
         Ok(q) => q,
         Err(msg) => {
-            eprintln!("sweep query: {msg}\n\n{QUERY_USAGE}");
+            eprintln!("sweep query: {msg}\n\n{}", query_usage());
             std::process::exit(2);
         }
     };
@@ -1048,7 +1077,7 @@ fn run_grid(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig, scale:
             .unwrap_or_else(|| ", no disk cache".to_string()),
     );
 
-    let start = std::time::Instant::now();
+    let start = acmp_obs::Stopwatch::start();
     let done = std::sync::atomic::AtomicUsize::new(0);
     // Progress streams from the worker threads as each cell finishes; the
     // JSONL rows themselves are written afterwards in stable digest order.
@@ -1063,7 +1092,7 @@ fn run_grid(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig, scale:
             );
         }
     });
-    let wall = start.elapsed().as_secs_f64();
+    let wall = start.elapsed_secs();
 
     // Rows are emitted sorted by line bytes — digest order, since every
     // line starts with the fixed-width hex job key.  A shard's stream is
@@ -1143,7 +1172,7 @@ fn run_coordinator(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig,
             .unwrap_or_else(|| ", no disk cache".to_string()),
     );
 
-    let start = std::time::Instant::now();
+    let start = acmp_obs::Stopwatch::start();
     let mut children: Vec<(u32, std::process::Child, PathBuf)> = Vec::new();
     for i in 1..=shards {
         let out_path = shard_dir.join(format!("shard-{i}.jsonl"));
@@ -1333,7 +1362,7 @@ fn run_coordinator(opts: &Options, grid: &GridSpec, generator: &GeneratorConfig,
     }
     acmp_obs::logline!(
         "sweep: merged {shards} shard streams — {rows} rows in {:.2}s",
-        start.elapsed().as_secs_f64()
+        start.elapsed_secs()
     );
     write_obs_artifacts(opts, child_events, &child_metrics);
 }

@@ -134,6 +134,7 @@ impl DesignPoint {
     /// line buffers, double bus — 11 % area and 5 % energy savings at no
     /// performance cost.
     pub fn proposed() -> Self {
+        // acmp-lint: allow(unwrap-in-lib) -- constant known-good preset parameters cannot fail validation
         Self::shared(16, 4, BusWidth::Double).expect("fixed preset is valid")
     }
 
@@ -164,6 +165,7 @@ impl DesignPoint {
     /// The worker-shared reference used by Fig. 13 (32 KB so the master's
     /// join is not confounded by capacity).
     pub fn worker_shared_32k_double() -> Self {
+        // acmp-lint: allow(unwrap-in-lib) -- constant known-good preset parameters cannot fail validation
         Self::shared(32, 4, BusWidth::Double).expect("fixed preset is valid")
     }
 

@@ -131,11 +131,14 @@ fn parse_designs(spec: &str) -> Result<Vec<DesignPoint>, String> {
 fn parse_design_token(token: &str) -> Result<Vec<DesignPoint>, String> {
     // Presets use statically known-good parameters, so the fallible
     // constructors cannot fail here.
+    // acmp-lint: allow(unwrap-in-lib) -- preset constructor arguments are compile-time constants
     let naive = |cpc| DesignPoint::naive_shared(cpc).expect("preset cpc is valid");
+    // acmp-lint: allow(unwrap-in-lib) -- preset constructor arguments are compile-time constants
     let shared = |kib, lb, bus| DesignPoint::shared(kib, lb, bus).expect("preset size is valid");
     let lb = |n| {
         DesignPoint::baseline()
             .with_line_buffers(n)
+            // acmp-lint: allow(unwrap-in-lib) -- preset constructor arguments are compile-time constants
             .expect("preset line-buffer count is valid")
     };
 

@@ -191,6 +191,7 @@ impl WorkStealingPool {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
+                    // acmp-lint: allow(unwrap-in-lib) -- the scoped pool joined above; every slot was filled exactly once
                     .expect("scoped pool finished with every job executed")
             })
             .collect();

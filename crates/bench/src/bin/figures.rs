@@ -18,7 +18,7 @@ use shared_icache::ExperimentContext;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!(
+        acmp_obs::logline!(
             "usage: figures <id> [<id> ...]   (ids: {})",
             EXPERIMENT_IDS.join(" ")
         );
@@ -37,7 +37,7 @@ fn main() {
 
     for id in &requested {
         if !EXPERIMENT_IDS.contains(&id.as_str()) {
-            eprintln!(
+            acmp_obs::logline!(
                 "unknown experiment id `{id}` (valid: {})",
                 EXPERIMENT_IDS.join(" ")
             );
@@ -55,7 +55,7 @@ fn main() {
         println!();
     }
     let stats = ctx.stats();
-    eprintln!(
+    acmp_obs::logline!(
         "[engine] simulated {}, memory-hits {}, disk-hits {}, trace-gens {}, trace-disk-hits {}",
         stats.simulated,
         stats.memory_hits,
@@ -87,7 +87,7 @@ fn run_one(
         "fig13" => println!("{}", figures::fig13::compute(ctx, benchmarks)),
         other => unreachable!("unvalidated experiment id {other}"),
     }
-    eprintln!(
+    acmp_obs::logline!(
         "[{id}] completed in {:.1}s at {scale:?} scale",
         start.elapsed().as_secs_f64()
     );

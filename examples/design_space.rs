@@ -58,9 +58,9 @@ fn main() {
     // One engine-level fan-out over the full 4 × 7 grid: every (benchmark,
     // design) cell is its own job on the work-stealing pool, so the sweep
     // scales with cores rather than with the benchmark count.
-    let sweep_start = std::time::Instant::now();
+    let sweep_start = acmp_obs::Stopwatch::start();
     let outcome = ctx.sweep(&benchmarks, &designs);
-    let sweep_secs = sweep_start.elapsed().as_secs_f64();
+    let sweep_secs = sweep_start.elapsed_secs();
 
     let baseline_design = DesignPoint::baseline();
     let base_area = baseline_design.cluster_design(8).area().total_mm2();
