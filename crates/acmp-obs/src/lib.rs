@@ -117,6 +117,21 @@ pub mod names {
     /// Counter: bytes read from import bundles.
     pub const STORE_IMPORT_BYTES: &str = "store.import_bytes";
 
+    /// Counter: epoch rolls of a served store — a writer publish was
+    /// detected and a fresh snapshot + catalog swapped in.
+    pub const STORE_EPOCH_ROLLS: &str = "store.epoch_rolls";
+
+    /// Span: one `sweep serve` connection, accept to close.
+    pub const SERVE_CONNECTION: &str = "serve.connection";
+    /// Span: answering one `/query` request (the span's duration histogram
+    /// is the service's query latency distribution).
+    pub const SERVE_QUERY: &str = "serve.query";
+    /// Counter: connections the server dropped because the client hung up
+    /// (or otherwise broke the socket) mid-exchange.  Never fatal.
+    pub const SERVE_CLIENT_DISCONNECTS: &str = "serve.client_disconnects";
+    /// Counter: requests answered, any endpoint or status.
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+
     /// Span: validating one shard stream against its key schedule.
     pub const MERGE_VALIDATE_SHARD: &str = "merge.validate_shard";
     /// Span: validating a manifest's grid against the local binary.

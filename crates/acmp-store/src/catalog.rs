@@ -18,7 +18,7 @@
 //! [persisted](Catalog::persist) for the next opener.
 
 use crate::index;
-use crate::query::{Query, QueryHit};
+use crate::query::{Filter, Query, QueryHit};
 use crate::snapshot::StoreSnapshot;
 use crate::stable_hash;
 use crate::store::DiskStore;
@@ -224,6 +224,58 @@ impl Catalog {
     #[must_use]
     pub fn query(&self, query: &Query) -> Vec<QueryHit<'_>> {
         crate::query::run(self, query)
+    }
+
+    /// The metric names at least one row carries with a numeric value,
+    /// sorted and deduplicated — the vocabulary `--by` and metric filters
+    /// draw from.
+    #[must_use]
+    pub fn known_metrics(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .rows
+            .iter()
+            .flat_map(|row| row.metrics.iter())
+            .filter(|(_, value)| number(value).is_some())
+            .map(|(name, _)| name.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Checks that `query`'s ranking metric and every metric-comparison
+    /// filter name a metric some row actually carries.  Without this, a
+    /// typo like `--by cylces` silently ranks zero rows and reads as an
+    /// empty design space.  An empty catalog validates trivially: there is
+    /// no vocabulary to check against, and "0 rows" is already the honest
+    /// answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown metric and listing the known
+    /// metric names.
+    pub fn validate_query(&self, query: &Query) -> Result<(), String> {
+        if self.rows.is_empty() {
+            return Ok(());
+        }
+        let known = self.known_metrics();
+        let check = |metric: &str| {
+            if known.binary_search(&metric).is_ok() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "unknown metric `{metric}` (no row carries it); known metrics: {}",
+                    known.join(", ")
+                ))
+            }
+        };
+        check(&query.by)?;
+        for filter in &query.filters {
+            if let Filter::Metric { metric, .. } = filter {
+                check(metric)?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -33,6 +33,7 @@
 
 pub mod catalog;
 pub mod compact;
+pub mod epoch;
 pub mod index;
 pub mod query;
 pub mod segment;
@@ -42,6 +43,7 @@ pub mod store;
 
 pub use catalog::{Catalog, CatalogSource, ResultRow};
 pub use compact::CompactStats;
+pub use epoch::{Epoch, EpochCache};
 pub use index::{IndexStats, IndexStatus};
 pub use query::{Cmp, Filter, Query, QueryHit};
 pub use snapshot::StoreSnapshot;

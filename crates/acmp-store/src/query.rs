@@ -205,6 +205,40 @@ pub struct QueryHit<'a> {
     pub value: f64,
 }
 
+impl QueryHit<'_> {
+    /// Renders this hit as the one JSONL line shape shared by `sweep
+    /// query` and `sweep serve` — a single renderer is what makes the two
+    /// byte-identical by construction.  `by` is the query's ranking
+    /// metric; `value` is the row's stored metric value (so integers stay
+    /// integers), falling back to the ranked float.
+    #[must_use]
+    pub fn to_jsonl(&self, by: &str) -> String {
+        let value = self
+            .row
+            .metric(by)
+            .cloned()
+            .unwrap_or(serde::Value::Float(self.value));
+        serde::Value::Object(vec![
+            ("key".to_string(), serde::Value::String(self.row.key_hex())),
+            (
+                "benchmark".to_string(),
+                serde::Value::String(self.row.benchmark.clone()),
+            ),
+            (
+                "family".to_string(),
+                serde::Value::String(self.row.family.clone()),
+            ),
+            (
+                "design".to_string(),
+                serde::Value::String(self.row.design.clone()),
+            ),
+            ("metric".to_string(), serde::Value::String(by.to_string())),
+            ("value".to_string(), value),
+        ])
+        .to_string()
+    }
+}
+
 /// Intersection of two sorted ordinal lists.
 fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
@@ -461,5 +495,43 @@ mod tests {
         assert!(catalog
             .query(&query(&[], "no.such.metric", None, false))
             .is_empty());
+    }
+
+    #[test]
+    fn unknown_metrics_are_rejected_with_the_vocabulary() {
+        let catalog = seeded_catalog("vocab");
+        assert_eq!(catalog.known_metrics(), vec!["cycles", "ipc"]);
+        let err = catalog
+            .validate_query(&query(&[], "cylces", None, false))
+            .unwrap_err();
+        assert!(
+            err.contains("`cylces`") && err.contains("cycles, ipc"),
+            "{err}"
+        );
+        let err = catalog
+            .validate_query(&query(&["cylces<=100"], "cycles", None, false))
+            .unwrap_err();
+        assert!(err.contains("`cylces`"), "{err}");
+        assert!(catalog
+            .validate_query(&query(&["benchmark=cg", "ipc>0"], "cycles", None, false))
+            .is_ok());
+        // An empty catalog has no vocabulary to check against.
+        let store = DiskStore::open(temp_root("vocab-empty")).unwrap();
+        let empty = Catalog::open(&store).unwrap();
+        assert!(empty
+            .validate_query(&query(&[], "cycles", None, false))
+            .is_ok());
+    }
+
+    #[test]
+    fn hits_render_the_shared_jsonl_shape() {
+        let catalog = seeded_catalog("jsonl");
+        let hits = catalog.query(&query(&["benchmark=cg"], "cycles", Some(1), false));
+        let line = hits[0].to_jsonl("cycles");
+        assert!(line.starts_with("{\"key\":\""), "{line}");
+        assert!(
+            line.ends_with("\"metric\":\"cycles\",\"value\":80}"),
+            "stored integers must render as integers: {line}"
+        );
     }
 }

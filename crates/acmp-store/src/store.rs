@@ -34,7 +34,7 @@
 //! configured bound at open, so the directory's growth stays bounded.
 
 use crate::segment::{self, SegmentName, SEGMENT_TARGET_BYTES, TMP_EXT};
-use crate::StoreKey;
+use crate::{stable_hash, StoreKey};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
@@ -74,7 +74,7 @@ pub struct StoreStats {
     /// Full directory listings performed by [`refresh`](DiskStore::refresh)
     /// (the open-time replay is not counted).  Stays flat across repeated
     /// misses against an unchanged directory — that is the point of the
-    /// mtime cache and the in-margin `(mtime, size)` memo.
+    /// mtime cache and the in-margin `(mtime, name-set digest)` memo.
     pub dir_scans: u64,
 }
 
@@ -128,12 +128,18 @@ pub(crate) struct Inner {
     /// directory mtime — so an unchanged mtime lets a refresh skip the
     /// whole re-listing.
     pub(crate) dir_seen: Option<SystemTime>,
-    /// The `(mtime, size)` of the store directory as of the last full
-    /// listing, consulted only while the mtime is still too recent for
-    /// [`dir_seen`](Self::dir_seen) (see [`DIR_MTIME_TRUST_MARGIN`]).
-    /// Without it, every load miss inside the margin re-listed the whole
-    /// directory.
-    pub(crate) last_listing: Option<(Option<SystemTime>, Option<u64>)>,
+    /// The `(mtime, name-set digest)` of the store directory as of the
+    /// last full listing, consulted only while the mtime is still too
+    /// recent for [`dir_seen`](Self::dir_seen) (see
+    /// [`DIR_MTIME_TRUST_MARGIN`]).  Without it, every load miss inside
+    /// the margin re-listed (parsed, sorted, folded) the whole directory.
+    /// The digest covers the *names* of the segment/index files present —
+    /// not the directory's size, which a `.tmp` → `seg-*` publish rename
+    /// leaves unchanged (the entry count is the same and directory sizes
+    /// are block-granular), and not its mtime, which the same rename can
+    /// leave unchanged within one timestamp granule.  A publish always
+    /// changes the name set, so the memo can never mask one.
+    pub(crate) last_listing: Option<(Option<SystemTime>, u64)>,
     /// Full directory listings performed by refresh (for [`StoreStats`]).
     pub(crate) dir_scans: u64,
 }
@@ -296,7 +302,6 @@ impl DiskStore {
         let mut inner = self.inner.lock();
         let meta = std::fs::metadata(&self.root).ok();
         let modified = meta.as_ref().and_then(|m| m.modified().ok());
-        let dir_size = meta.map(|m| m.len());
         if inner.dir_seen.is_some() && inner.dir_seen == modified {
             span.record_field("segments_indexed", 0u64);
             span.record_field("listing_skipped", 1u64);
@@ -305,25 +310,34 @@ impl DiskStore {
         // acmp-lint: allow(nondeterminism) -- the clock only gates directory re-listing (a cache of the filesystem), never result bytes
         let now = SystemTime::now();
         // Inside the trust margin `dir_seen` can never be cached, but that
-        // must not mean a full listing per miss: if the directory's
-        // (mtime, size) still matches what the last listing saw, nothing
-        // was published since and the walk is skipped.  `dir_seen` stays
-        // empty, so one catch-up listing happens once the mtime ages past
-        // the margin — covering a publish that landed in the very same
-        // timestamp granule as that last listing.
-        if trusted_dir_mtime(modified, now).is_none()
-            && inner.last_listing == Some((modified, dir_size))
-        {
-            span.record_field("segments_indexed", 0u64);
-            span.record_field("listing_skipped", 1u64);
-            return 0;
+        // must not mean a full listing per miss: if the directory's mtime
+        // and segment/index *name set* still match what the last listing
+        // saw, nothing was published since and the walk (parse, sort, fold)
+        // is skipped.  The name-set digest — not the directory size, which
+        // a `.tmp` → `seg-*` publish rename leaves unchanged — is what
+        // makes this memo rename-sensitive.  `dir_seen` stays empty, so
+        // one catch-up listing happens once the mtime ages past the
+        // margin.
+        if trusted_dir_mtime(modified, now).is_none() {
+            if let Some((seen_mtime, seen_digest)) = inner.last_listing {
+                if seen_mtime == modified && listing_digest(&self.root) == Some(seen_digest) {
+                    span.record_field("segments_indexed", 0u64);
+                    span.record_field("listing_skipped", 1u64);
+                    return 0;
+                }
+            }
         }
         inner.dir_scans += 1;
+        // Digest before the listing: a file published in between is seen
+        // by the listing but missing from the memo, which only costs one
+        // extra (harmless) walk on the next in-margin refresh.  The other
+        // order could memoize a name the fold below never indexed.
+        let names_digest = listing_digest(&self.root);
         let Ok(found) = segment::list_segments(&self.root) else {
             return 0;
         };
         inner.dir_seen = trusted_dir_mtime(modified, now);
-        inner.last_listing = Some((modified, dir_size));
+        inner.last_listing = names_digest.map(|digest| (modified, digest));
         let known: std::collections::HashSet<&Path> =
             inner.segments.iter().map(PathBuf::as_path).collect();
         let fresh: Vec<(SegmentName, PathBuf)> = found
@@ -724,6 +738,29 @@ fn trusted_dir_mtime(modified: Option<SystemTime>, now: SystemTime) -> Option<Sy
     })
 }
 
+/// Digest of the segment/index file *names* under `root` — the cheap,
+/// rename-sensitive half of the in-margin refresh memo.  Only names are
+/// read (no per-file stat, no record parsing), so this costs one
+/// `read_dir` pass; `None` means the directory could not be read, which
+/// disables the memo rather than trusting it.
+fn listing_digest(root: &Path) -> Option<u64> {
+    let mut names: Vec<String> = std::fs::read_dir(root)
+        .ok()?
+        .filter_map(|entry| entry.ok()?.file_name().into_string().ok())
+        .filter(|name| {
+            let ext = Path::new(name).extension().and_then(|e| e.to_str());
+            ext == Some(segment::SEGMENT_EXT) || ext == Some(crate::index::INDEX_EXT)
+        })
+        .collect();
+    names.sort_unstable();
+    let mut acc = stable_hash::fnv1a_init();
+    for name in &names {
+        acc = stable_hash::fnv1a_fold(acc, name.as_bytes());
+        acc = stable_hash::fnv1a_fold(acc, b"\n");
+    }
+    Some(acc)
+}
+
 /// The replay-order identity of an indexed segment file, parsed back from
 /// its path.  Every indexed segment was created with a
 /// [`SegmentName`]-shaped file name, so `None` only ever means an exotic
@@ -1023,7 +1060,7 @@ mod tests {
     #[test]
     fn misses_inside_the_trust_margin_list_the_directory_once() {
         // The directory mtime is "now", inside DIR_MTIME_TRUST_MARGIN, so
-        // `dir_seen` cannot be cached.  Before the (mtime, size) memo,
+        // `dir_seen` cannot be cached.  Before the (mtime, name-set) memo,
         // every one of the misses below walked the directory again.
         let root = temp_root("refresh-memo");
         let reader = DiskStore::open(&root).unwrap();
@@ -1052,6 +1089,40 @@ mod tests {
             reader.stats().dir_scans > after,
             "the publish re-armed the walk"
         );
+    }
+
+    #[test]
+    fn rename_publish_in_the_same_mtime_granule_is_not_masked() {
+        // A publish is a `.tmp` → `seg-*` rename: it does not change the
+        // directory's *size* (same entry count, block-granular sizes) and
+        // can land in the same mtime granule as the memoized listing.  The
+        // old `(mtime, size)` memo answered "unchanged" for exactly this
+        // shape and masked the publish until the granule rolled over; the
+        // name-set digest sees the rename.
+        let root = temp_root("rename-publish");
+        let reader = DiskStore::open(&root).unwrap();
+        // Build a publishable segment in a scratch store.
+        let scratch = temp_root("rename-publish-src");
+        let writer = DiskStore::open(&scratch).unwrap();
+        writer.save(&key("lu"), &2u64).unwrap();
+        let seg_name = segment_files(&scratch).pop().expect("writer segment");
+        // Pin a whole-second mtime (so it can be pinned *back* exactly)
+        // inside the trust margin, then arm the in-margin memo.
+        let granule = SystemTime::now();
+        set_dir_mtime(&root, granule);
+        assert_eq!(reader.refresh(), 0, "empty store, nothing to fold");
+        let scans = reader.stats().dir_scans;
+        // Publish via tmp-write + rename, then pin the directory mtime
+        // back into the granule the memo recorded.
+        let tmp = root.join(format!("incoming.{TMP_EXT}"));
+        std::fs::copy(scratch.join(&seg_name), &tmp).unwrap();
+        std::fs::rename(&tmp, root.join(&seg_name)).unwrap();
+        set_dir_mtime(&root, granule);
+        // mtime matches the memo byte-for-byte; only the segment name set
+        // differs.  The very next refresh must fold the publish.
+        assert_eq!(reader.refresh(), 1, "the rename-published segment folds");
+        assert_eq!(reader.load::<u64>(&key("lu")), Some(2));
+        assert!(reader.stats().dir_scans > scans, "a full listing ran");
     }
 
     /// Pins a directory's mtime to a whole-second epoch value.

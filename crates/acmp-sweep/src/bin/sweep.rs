@@ -93,6 +93,7 @@ usage: sweep run   [options]                 run a grid, or one shard of it
        sweep merge --manifest plan.json [--out FILE] shard-1.jsonl … shard-N.jsonl
        sweep store compact|stats|export FILE|import FILE [--cache-dir DIR]
        sweep query [FILTER …] --by METRIC [--top K] [--desc] [--cache-dir DIR]
+       sweep serve --dir STORE [--addr HOST:PORT] [--workers N]
        sweep trace report TRACE.jsonl [--metrics FILE.json] [--top K]
        sweep [options]                       (deprecated alias grammar, see below)
 
@@ -603,6 +604,7 @@ fn main() {
         }
         Some("store") => run_store(&args[1..]),
         Some("query") => run_query(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
         Some("trace") => run_trace(&args[1..]),
         // Deprecated alias grammar: the run/plan/store options as bare
         // top-level flags.  Kept silently working so existing scripts and
@@ -781,32 +783,19 @@ fn run_query(args: &[String]) {
         }
     }
 
+    // A ranking metric (or filter metric) no row carries is a typo, not an
+    // empty design space — refuse it and show the vocabulary.
+    if let Err(msg) = catalog.validate_query(&query) {
+        eprintln!("sweep query: {msg}");
+        std::process::exit(2);
+    }
+
     let hits = catalog.query(&query);
     let mut sink = open_sink(out.as_ref());
     for hit in &hits {
-        let value = hit
-            .row
-            .metric(&query.by)
-            .cloned()
-            .unwrap_or(serde::Value::Float(hit.value));
-        let line = serde::Value::Object(vec![
-            ("key".to_string(), serde::Value::String(hit.row.key_hex())),
-            (
-                "benchmark".to_string(),
-                serde::Value::String(hit.row.benchmark.clone()),
-            ),
-            (
-                "family".to_string(),
-                serde::Value::String(hit.row.family.clone()),
-            ),
-            (
-                "design".to_string(),
-                serde::Value::String(hit.row.design.clone()),
-            ),
-            ("metric".to_string(), serde::Value::String(query.by.clone())),
-            ("value".to_string(), value),
-        ]);
-        if let Err(e) = writeln!(sink, "{line}") {
+        // The rendering is shared with `sweep serve` so service responses
+        // stay byte-identical to the offline CLI.
+        if let Err(e) = writeln!(sink, "{}", hit.to_jsonl(&query.by)) {
             die_on_write_error(&e);
         }
     }
@@ -828,6 +817,111 @@ fn run_query(args: &[String]) {
     }
     write_obs_artifacts(&opts, Vec::new(), &[]);
 }
+
+const SERVE_USAGE: &str = "\
+usage: sweep serve --dir STORE [--addr HOST:PORT] [--workers N]
+  Serves the store's cached results over HTTP, long-lived.  Endpoints:
+    POST/GET /query     the `sweep query` grammar (POST body = the CLI
+                        tokens, GET = &-separated percent-encoded tokens);
+                        answers JSONL byte-identical to the offline CLI
+    GET /stats          the live acmp-obs metrics snapshot (same schema as
+                        --metrics-out); a warm query leaves
+                        store.value_reads absent — the zero-read proof
+    GET /healthz        liveness
+  Writer publishes are picked up automatically (snapshot epoch roll);
+  in-flight queries keep their epoch.  SIGTERM exits cleanly.
+  --dir DIR       the store to serve (required)
+  --addr ADDR     bind address                (default: 127.0.0.1:7878)
+  --workers N     connection worker threads   (default: 4)";
+
+fn run_serve(args: &[String]) {
+    let mut dir: Option<String> = None;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers = acmp_sweep::serve::DEFAULT_WORKERS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("sweep serve: {name} needs a value\n\n{SERVE_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--dir" => dir = Some(value("--dir")),
+            "--addr" => addr = value("--addr"),
+            "--workers" => {
+                let v = value("--workers");
+                workers = v.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("sweep serve: bad --workers `{v}`\n\n{SERVE_USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("{SERVE_USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("sweep serve: unknown argument `{other}`\n\n{SERVE_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("sweep serve: --dir STORE is required\n\n{SERVE_USAGE}");
+        std::process::exit(2);
+    };
+    // Metrics on from the start so /stats reflects the whole process —
+    // including whether the first epoch needed any segment value reads.
+    acmp_obs::enable_metrics();
+    install_sigterm_handler();
+    let server = match acmp_sweep::serve::Server::start(&dir, &addr, workers) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("sweep serve: cannot serve {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "sweep serve: serving {dir} on http://{}",
+        server.local_addr()
+    );
+    // The acceptor and workers own the work; this thread only waits for a
+    // signal.  SIGTERM exits 0 via the handler below.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Raw `signal(2)` binding — the container has no signal-handling crate,
+/// and all the handler may do is `_exit`, which is async-signal-safe.
+#[cfg(unix)]
+mod sigterm {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn exit_cleanly(_signum: i32) {
+        // Exit code 0 is the clean-shutdown contract CI asserts.
+        unsafe { _exit(0) }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, exit_cleanly as *const () as usize);
+        }
+    }
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    sigterm::install();
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
 
 /// Store maintenance modes: no grid, no engine.
 fn run_maintenance(opts: &Options) {

@@ -50,16 +50,20 @@ pub mod job;
 pub mod manifest;
 pub mod merge;
 pub mod scheduler;
+pub mod serve;
 pub mod sharded;
 
 // The storage layers moved to the `acmp-store` crate; re-export its modules
 // under their historical paths so `crate::store::…` / `acmp_sweep::segment::…`
 // callers keep compiling unchanged.
-pub use acmp_store::{catalog, compact, index, query, segment, snapshot, stable_hash, store};
+pub use acmp_store::{
+    catalog, compact, epoch, index, query, segment, snapshot, stable_hash, store,
+};
 
 pub use acmp_store::{
-    Catalog, CatalogSource, Cmp, CompactStats, DiskStore, Filter, ImportStats, IndexStats,
-    IndexStatus, Query, QueryHit, RawKey, ResultRow, StoreKey, StoreSnapshot, StoreStats,
+    Catalog, CatalogSource, Cmp, CompactStats, DiskStore, Epoch, EpochCache, Filter, ImportStats,
+    IndexStats, IndexStatus, Query, QueryHit, RawKey, ResultRow, StoreKey, StoreSnapshot,
+    StoreStats,
 };
 pub use design_point::{DesignPoint, DesignPointError};
 pub use engine::{EngineStats, SweepEngine, SweepEngineBuilder, SweepOutcome, SweepRow};
